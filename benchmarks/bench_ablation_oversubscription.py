@@ -1,0 +1,65 @@
+"""Ablation — DROM shrinking vs plain CPUSET oversubscription.
+
+Section 2 argues against the prior approach of simply re-mapping CPUSETs
+without involving the programming model: the running application keeps all
+its threads, so co-allocation oversubscribes CPUs and degrades performance.
+This benchmark reproduces that comparison: the same co-allocation is run with
+a malleable NEST (DROM shrinks its thread team) and with a non-malleable NEST
+(its threads keep running on CPUs now shared with the analytics job).
+"""
+
+from __future__ import annotations
+
+from repro.apps import nest_model
+from repro.experiments.tables import render_table
+from repro.runtime.process import ThreadModel
+from repro.workload import configs
+from repro.workload.runner import ScenarioRunner
+from repro.workload.workloads import Workload, WorkloadJob
+
+
+def build_workload(malleable: bool) -> Workload:
+    nest_app = configs.ConfiguredApp(
+        app_name="NEST",
+        config=configs.NEST_CONFIGS["Conf. 1"],
+        model=nest_model(malleable=malleable),
+    )
+    return Workload(
+        name=f"NEST(malleable={malleable}) + Pils Conf. 1",
+        jobs=(
+            WorkloadJob(app=nest_app, submit_time=0.0, name="NEST Conf. 1"),
+            WorkloadJob(app=configs.pils("Conf. 1"), submit_time=120.0,
+                        thread_model=ThreadModel.OMPSS, name="Pils Conf. 1"),
+        ),
+    )
+
+
+def oversubscription_interference(job: str, node: str, co_runners: list[str]) -> float:
+    """Model of the cost of oversubscribed CPUs: when the non-malleable
+    simulator shares its CPUs with another job, both time-share the cores
+    (the effect the paper cites from the DJSB study)."""
+    return 1.6 if co_runners else 1.0
+
+
+def run_variants():
+    out = {}
+    # DROM path: the simulator is malleable, no oversubscription, no penalty.
+    drom_result = ScenarioRunner(True).run(build_workload(malleable=True))
+    out["DROM (shrink via DLB)"] = drom_result.metrics.total_run_time
+    # CPUSET-only path: the simulator does not react; while sharing the node
+    # the oversubscribed CPUs time-share between the two applications.
+    oversub_result = ScenarioRunner(
+        True, interference=oversubscription_interference
+    ).run(build_workload(malleable=False))
+    out["CPUSET oversubscription (no DLB)"] = oversub_result.metrics.total_run_time
+    return out
+
+
+def test_ablation_oversubscription(benchmark, report):
+    results = benchmark(run_variants)
+    rows = [(label, f"{value:.0f}") for label, value in results.items()]
+    report(
+        "ablation_oversubscription",
+        render_table(["Co-allocation mechanism", "Total run time (s)"], rows),
+    )
+    assert results["DROM (shrink via DLB)"] < results["CPUSET oversubscription (no DLB)"]

@@ -1,0 +1,26 @@
+"""Figure 4 — total run time of the NEST + Pils workloads (Serial vs DROM).
+
+Paper observations reproduced and asserted here:
+
+* DROM improves the total run time over the Serial scenario for Pils Conf. 2
+  and Conf. 3 (≈5.9 % average in the paper) and is comparable to the
+  fully-packed reference Pils Conf. 1;
+* DROM never loses to Serial.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_run_time_figure
+from repro.experiments.usecase1 import simulator_pils_run_time
+
+
+def test_figure4_nest_pils_total_run_time(benchmark, report):
+    comparisons = benchmark(simulator_pils_run_time, "NEST")
+    report("fig04_nest_pils_runtime", render_run_time_figure(comparisons))
+
+    for c in comparisons:
+        assert c.total_run_time_gain >= -0.005, c.workload
+        if c.analytics_config in ("Conf. 2", "Conf. 3"):
+            assert 0.02 <= c.total_run_time_gain <= 0.15, c.workload
+        else:
+            assert c.total_run_time_gain <= 0.06, c.workload

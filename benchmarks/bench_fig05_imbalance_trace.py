@@ -1,0 +1,30 @@
+"""Figure 5 — per-thread utilisation of NEST after DROM removes one thread.
+
+The paper's trace shows that when thread 16 is removed, its statically
+partitioned data is computed by the first 4 threads while the others report
+lower utilisation (idle gaps).  The benchmark regenerates the per-thread
+utilisation and the ASCII timeline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.usecase1 import imbalance_trace
+
+
+def test_figure5_static_partition_imbalance(benchmark, report):
+    trace = benchmark(imbalance_trace)
+    lines = [f"workload: {trace.workload}", "", "utilisation during the shrunk window:"]
+    lines += [f"  thread {t:2d}: {u:.2f}" for t, u in trace.shrunk_utilisation.items()]
+    lines += [
+        "",
+        f"threads absorbing the orphaned chunks: {trace.overloaded_threads}",
+        f"threads with idle time:               {trace.underloaded_threads}",
+        "",
+        "per-thread activity timeline (rank 0):",
+        trace.rendering,
+    ]
+    report("fig05_imbalance_trace", "\n".join(lines))
+
+    assert len(trace.overloaded_threads) == 4
+    assert len(trace.underloaded_threads) == 11
+    assert trace.mask_changes >= 2

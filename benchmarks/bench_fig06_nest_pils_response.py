@@ -1,0 +1,20 @@
+"""Figure 6 — individual response times of NEST and Pils (Serial vs DROM).
+
+Paper observations asserted: Pils' response time collapses (up to 96 % in the
+paper, because its wait time goes to zero) while NEST's grows only a few
+percent (0–4.2 %).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_response_figure
+from repro.experiments.usecase1 import simulator_pils_response
+
+
+def test_figure6_nest_pils_response_times(benchmark, report):
+    comparisons = benchmark(simulator_pils_response, "NEST")
+    report("fig06_nest_pils_response", render_response_figure(comparisons))
+
+    for c in comparisons:
+        assert c.analytics_response_reduction >= 0.80, c.workload
+        assert c.simulator_response_change <= 0.09, c.workload

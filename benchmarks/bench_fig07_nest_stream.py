@@ -1,0 +1,26 @@
+"""Figure 7 — NEST + STREAM: total run time (left) and response times (right).
+
+Paper observations asserted: the total run time is *always* better with DROM
+(1.84 % on average, up to 3.5 % for NEST in the paper) because a memory-bound
+and a compute-bound application share the nodes well; STREAM's response time
+drops by ~92 % while NEST's grows at most ~6.7 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_response_figure, render_run_time_figure
+from repro.experiments.usecase1 import simulator_stream
+
+
+def test_figure7_nest_stream(benchmark, report):
+    comparisons = benchmark(simulator_stream, "NEST")
+    text = (
+        "Total run time:\n" + render_run_time_figure(comparisons)
+        + "\n\nResponse times:\n" + render_response_figure(comparisons)
+    )
+    report("fig07_nest_stream", text)
+
+    for c in comparisons:
+        assert 0.0 < c.total_run_time_gain <= 0.12, c.workload
+        assert c.analytics_response_reduction >= 0.85, c.workload
+        assert c.simulator_response_change <= 0.07, c.workload

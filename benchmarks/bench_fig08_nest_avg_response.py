@@ -1,0 +1,18 @@
+"""Figure 8 — average response time of all NEST workloads (Serial vs DROM).
+
+Paper observation asserted: the DROM scenario improves the average response
+time by 37–48 % for every NEST workload.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_average_response_figure
+from repro.experiments.usecase1 import simulator_average_response
+
+
+def test_figure8_nest_average_response(benchmark, report):
+    comparisons = benchmark(simulator_average_response, "NEST")
+    report("fig08_nest_avg_response", render_average_response_figure(comparisons))
+
+    for c in comparisons:
+        assert 0.30 <= c.average_response_gain <= 0.55, c.workload

@@ -1,0 +1,21 @@
+"""Figure 9 — total run time of the CoreNeuron + Pils workloads.
+
+Paper observation asserted: results mirror the NEST workloads — DROM wins
+against the Serial scenario for Pils Conf. 2/3 and stays within a few percent
+of the packed Conf. 1 reference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_run_time_figure
+from repro.experiments.usecase1 import simulator_pils_run_time
+
+
+def test_figure9_coreneuron_pils_total_run_time(benchmark, report):
+    comparisons = benchmark(simulator_pils_run_time, "CoreNeuron")
+    report("fig09_neuron_pils_runtime", render_run_time_figure(comparisons))
+
+    for c in comparisons:
+        assert c.total_run_time_gain >= -0.005, c.workload
+        if c.analytics_config in ("Conf. 2", "Conf. 3"):
+            assert 0.02 <= c.total_run_time_gain <= 0.15, c.workload

@@ -1,0 +1,15 @@
+"""Figure 10 — individual response times of CoreNeuron and Pils."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_response_figure
+from repro.experiments.usecase1 import simulator_pils_response
+
+
+def test_figure10_coreneuron_pils_response_times(benchmark, report):
+    comparisons = benchmark(simulator_pils_response, "CoreNeuron")
+    report("fig10_neuron_pils_response", render_response_figure(comparisons))
+
+    for c in comparisons:
+        assert c.analytics_response_reduction >= 0.80, c.workload
+        assert c.simulator_response_change <= 0.09, c.workload

@@ -1,0 +1,26 @@
+"""Figure 11 — CoreNeuron + STREAM: total run time and response times.
+
+Paper observation asserted: the total run time is always better with DROM
+(up to 8 % — CoreNeuron shares nodes with memory-bound analytics slightly
+better than NEST), STREAM's response time drops by ~91 %, CoreNeuron's grows
+at most ~4 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_response_figure, render_run_time_figure
+from repro.experiments.usecase1 import simulator_stream
+
+
+def test_figure11_coreneuron_stream(benchmark, report):
+    comparisons = benchmark(simulator_stream, "CoreNeuron")
+    text = (
+        "Total run time:\n" + render_run_time_figure(comparisons)
+        + "\n\nResponse times:\n" + render_response_figure(comparisons)
+    )
+    report("fig11_neuron_stream", text)
+
+    for c in comparisons:
+        assert 0.0 < c.total_run_time_gain <= 0.12, c.workload
+        assert c.analytics_response_reduction >= 0.85, c.workload
+        assert c.simulator_response_change <= 0.06, c.workload

@@ -1,0 +1,19 @@
+"""Figure 12 — average response time of all CoreNeuron workloads.
+
+Paper observation asserted: DROM improves the average response time of every
+CoreNeuron workload by ≈46.5 % on average (never below ~37 %).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_average_response_figure
+from repro.experiments.usecase1 import simulator_average_response
+
+
+def test_figure12_coreneuron_average_response(benchmark, report):
+    comparisons = benchmark(simulator_average_response, "CoreNeuron")
+    report("fig12_neuron_avg_response", render_average_response_figure(comparisons))
+
+    gains = [c.average_response_gain for c in comparisons]
+    assert all(0.30 <= g <= 0.55 for g in gains)
+    assert 0.38 <= sum(gains) / len(gains) <= 0.52

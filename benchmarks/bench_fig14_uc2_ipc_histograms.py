@@ -1,0 +1,31 @@
+"""Figure 14 — per-thread IPC histograms of use case 2 (Serial vs DROM).
+
+Paper observation asserted: the Serial and DROM scenarios are comparable in
+terms of IPC; the DROM run shows slightly *higher* IPC because each rank runs
+on fewer threads with better locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.usecase2 import run_usecase2
+
+
+def test_figure14_use_case2_ipc_histograms(benchmark, report):
+    result = benchmark(run_usecase2)
+    lines = []
+    for scenario in ("serial", "drom"):
+        lines.append(f"{scenario.upper()} IPC histograms (counts per 0.1-wide bin, 0..2):")
+        for job, hist in result.ipc_histograms(scenario).items():
+            compact = " ".join(f"{int(v):4d}" for v in hist)
+            lines.append(f"  {job:22s} {compact}")
+        lines.append("")
+    lines.append("Mean IPC per job (Serial vs DROM):")
+    for job, (serial_ipc, drom_ipc) in result.ipc_comparison().items():
+        lines.append(f"  {job:22s} {serial_ipc:.2f}  vs  {drom_ipc:.2f}")
+    report("fig14_uc2_ipc_histograms", "\n".join(lines))
+
+    for job, (serial_ipc, drom_ipc) in result.ipc_comparison().items():
+        assert abs(drom_ipc - serial_ipc) / serial_ipc <= 0.20, job
+        assert drom_ipc >= serial_ipc * 0.98, job

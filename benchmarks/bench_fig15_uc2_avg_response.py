@@ -1,0 +1,35 @@
+"""Figure 15 — average response time of use case 2 (Serial vs DROM).
+
+Paper observation asserted: the DROM scenario improves the average response
+time (10 % in the paper) because the high-priority job starts immediately.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.usecase2 import run_usecase2
+
+
+def test_figure15_use_case2_average_response(benchmark, report):
+    result = benchmark(run_usecase2)
+    responses = result.response_times()
+    lines = [
+        f"Serial average response: {result.serial_average_response:.0f} s",
+        f"DROM   average response: {result.drom_average_response:.0f} s",
+        f"gain: {100 * result.average_response_gain:+.1f} %  (paper: +10 %)",
+        "",
+        "per-job response times (s):",
+    ]
+    for scenario in ("serial", "drom"):
+        for job, value in responses[scenario].items():
+            lines.append(f"  {scenario:6s} {job:22s} {value:8.0f}")
+    report("fig15_uc2_avg_response", "\n".join(lines))
+
+    assert result.average_response_gain > 0.0
+    # The high-priority job's own response time improves a lot...
+    serial_cn = responses["serial"][result.coreneuron_label]
+    drom_cn = responses["drom"][result.coreneuron_label]
+    assert drom_cn < serial_cn
+    # ...while the already-running job pays a bounded penalty.
+    serial_nest = responses["serial"][result.nest_label]
+    drom_nest = responses["drom"][result.nest_label]
+    assert drom_nest >= serial_nest

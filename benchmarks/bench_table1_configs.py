@@ -1,0 +1,39 @@
+"""Table 1 — application configurations, plus the models' reference runtimes.
+
+Regenerates the configuration table and reports each application's standalone
+runtime on the two-node partition (the calibration the other figures build
+on).
+"""
+
+from __future__ import annotations
+
+from repro.cpuset import NodeTopology
+from repro.experiments.tables import render_table, render_table1
+from repro.workload import configs
+
+
+def build_table1_with_runtimes():
+    node = NodeTopology.marenostrum3()
+    apps = [
+        configs.nest("Conf. 1"), configs.nest("Conf. 2"),
+        configs.coreneuron("Conf. 1"), configs.coreneuron("Conf. 2"),
+        configs.pils("Conf. 1"), configs.pils("Conf. 2"), configs.pils("Conf. 3"),
+        configs.stream("Conf. 1"),
+    ]
+    rows = [
+        (
+            app.label,
+            f"{app.config.mpi_ranks} x {app.config.threads_per_rank}",
+            f"{app.model.standalone_runtime(app.config, node):.0f}",
+        )
+        for app in apps
+    ]
+    return render_table1(), render_table(
+        ["Application", "MPI x threads", "Standalone runtime (s)"], rows
+    )
+
+
+def test_table1_configurations(benchmark, report):
+    table1, runtimes = benchmark(build_table1_with_runtimes)
+    report("table1_configs", table1 + "\n\nCalibrated standalone runtimes:\n" + runtimes)
+    assert "2 x 16" in table1

@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding Serial/DROM scenarios under ``pytest-benchmark`` timing, prints
+the same rows/series the paper plots, and writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Callable ``report(name, text)``: print a figure's data and persist it."""
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report

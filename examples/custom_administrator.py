@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Writing your own DROM administrator (no SLURM involved).
+
+Section 3.2 of the paper notes that the administrator does not have to be the
+resource manager: "the implementation of the interface … allows users to
+program their own administrator process".  This example shows exactly that —
+a small user-level tool that co-allocates two of the user's own applications
+on one node:
+
+* application A follows Listing 1 of the paper: an iterative code that calls
+  ``DLB_PollDROM`` at the top of every iteration (the manual integration of
+  Section 4.4);
+* application B uses the asynchronous callback mode instead of polling;
+* the administrator equipartitions the node between them, later returns all
+  CPUs to A when B finishes, and also demonstrates the LeWI module lending
+  idle CPUs in between.
+
+Run with::
+
+    python examples/custom_administrator.py
+"""
+
+from repro.core import (
+    DlbError,
+    DlbProcess,
+    DromFlags,
+    LewiModule,
+    NodeSharedMemory,
+    attach_admin,
+)
+from repro.cpuset import CpuSet, NodeTopology
+from repro.cpuset.distribution import JobShare, SocketAwareEquipartition
+
+
+def main() -> None:
+    node = NodeTopology.marenostrum3()
+    shmem = NodeSharedMemory(node)
+
+    # --- application A: manual polling integration (Listing 1) -----------------
+    app_a = DlbProcess(pid=501, shmem=shmem, mask=node.full_mask(), environ={})
+    app_a.init()
+    threads_a = app_a.current_mask().count()
+    print(f"[A] initialised with {threads_a} threads")
+
+    # --- administrator: make room for application B ----------------------------
+    admin = attach_admin(shmem)
+    policy = SocketAwareEquipartition()
+    shares = policy.distribute(
+        node,
+        [JobShare(job_id=1, ntasks=1, requested_cpus=16),
+         JobShare(job_id=2, ntasks=1, requested_cpus=16)],
+    )
+    mask_a, mask_b = shares[1].mask, shares[2].mask
+    print(f"[admin] equipartition: A -> {mask_a.to_list_string()}, "
+          f"B -> {mask_b.to_list_string()}")
+
+    # Reserve B's CPUs (DROM_PreInit shrinks A in the shared memory) and
+    # "fork/exec" B with the produced environment.
+    preinit = admin.pre_init(502, mask_b, DromFlags.STEAL)
+    assert preinit.code is DlbError.DLB_SUCCESS
+    app_b = DlbProcess(pid=502, shmem=shmem, environ=preinit.next_environ)
+    app_b.init()
+
+    # B reacts through the asynchronous helper-thread mode.
+    def on_mask_change(mask: CpuSet) -> None:
+        print(f"[B] asynchronous update: now on CPUs {mask.to_list_string()}")
+
+    app_b.enable_async(on_mask_change)
+    print(f"[B] started on CPUs {app_b.current_mask().to_list_string()}")
+
+    # --- application A's iterative main loop (Listing 1 pattern) ----------------
+    for iteration in range(3):
+        code, ncpus, mask = app_a.poll_drom()
+        if code is DlbError.DLB_SUCCESS:
+            threads_a = ncpus
+            print(f"[A] iteration {iteration}: DROM shrank me to {ncpus} threads "
+                  f"({mask.to_list_string()})")
+        else:
+            print(f"[A] iteration {iteration}: running with {threads_a} threads")
+
+    # --- LeWI: B blocks in MPI and lends its CPUs; A borrows them ---------------
+    lewi = LewiModule(shmem)
+    _, lent = lewi.lend(502)
+    _, borrowed = lewi.borrow(501)
+    print(f"[LeWI] B lent {lent.to_list_string()}; "
+          f"A temporarily computes on {lewi.effective_mask(501).to_list_string()}")
+    lewi.reclaim(502)
+    print(f"[LeWI] B reclaimed its CPUs; A is back to "
+          f"{lewi.effective_mask(501).to_list_string()}")
+
+    # --- B finishes: the administrator cleans it up and A expands ----------------
+    app_b.finalize()
+    code, returned = admin.post_finalize(502, DromFlags.RETURN_STOLEN)
+    print(f"[admin] DROM_PostFinalize(B): {code.name}, returned {{"
+          + ", ".join(f"{pid}: {m.to_list_string()}" for pid, m in returned.items()) + "}")
+    admin.set_process_mask(501, node.full_mask(), DromFlags.STEAL)
+    code, ncpus, mask = app_a.poll_drom()
+    print(f"[A] final poll: {code.name}, back to {ncpus} threads")
+
+    app_a.finalize()
+    admin.detach()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: shrink and expand a running application with the DROM API.
+
+This is the smallest end-to-end use of the library:
+
+1. build a MareNostrum III-like node and its DLB shared memory;
+2. start a hybrid (MPI+OpenMP) application process registered with DLB;
+3. attach an administrator (what SLURM's slurmd does) and change the
+   process's CPU mask at run time;
+4. watch the application adopt the new mask at its next malleability point.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import DromFlags, NodeSharedMemory, attach_admin
+from repro.cpuset import CpuSet, NodeTopology
+from repro.runtime import ApplicationProcess, ProcessSpec, ThreadModel
+
+
+def main() -> None:
+    # A two-socket, 16-core node (the paper's MN3 node) and its DLB shared
+    # memory segment.
+    node = NodeTopology.marenostrum3()
+    shmem = NodeSharedMemory(node)
+
+    # An application process: one MPI rank running OpenMP on the whole node.
+    app = ApplicationProcess(
+        ProcessSpec(
+            pid=1001,
+            node=node.name,
+            mpi_rank=0,
+            thread_model=ThreadModel.OPENMP,
+            initial_mask=node.full_mask(),
+        ),
+        shmem,
+    )
+    app.start()
+    print(f"application started with {app.num_threads} threads "
+          f"on CPUs {app.current_mask.to_list_string()}")
+
+    # An administrator process attaches to the node (DROM_Attach) and asks
+    # the application to give up one socket (DROM_SetProcessMask + STEAL).
+    admin = attach_admin(shmem)
+    print(f"registered pids: {admin.get_pid_list()}")
+    admin.set_process_mask(1001, CpuSet.from_range(0, 8), DromFlags.STEAL)
+    print("administrator assigned CPUs 0-7; change is pending until the "
+          "application reaches a malleability point")
+
+    # The application hits its next OpenMP parallel region: the DLB OMPT tool
+    # polls DROM and resizes/re-pins the team before the region starts.
+    team = app.enter_parallel_region()
+    print(f"next parallel region ran with {team} threads "
+          f"on CPUs {app.current_mask.to_list_string()}")
+
+    # Give the CPUs back and let the application expand again.
+    admin.set_process_mask(1001, node.full_mask(), DromFlags.STEAL)
+    team = app.enter_parallel_region()
+    print(f"after expansion the team is back to {team} threads")
+
+    app.finish()
+    admin.detach()
+    print("done: the application unregistered cleanly")
+
+
+if __name__ == "__main__":
+    main()

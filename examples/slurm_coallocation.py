@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Driving the DROM-enabled SLURM stack directly (Figure 2, step by step).
+
+This example uses the SLURM substrate the way the paper's integration does:
+slurmctld schedules two full-node jobs onto the same two nodes, each node's
+slurmd runs the DROM-enabled task/affinity plugin, slurmstepd applies the
+masks with ``DROM_PreInit``, and when the second job ends its CPUs are handed
+back through ``release_resources``.  Every mask decision is printed so the
+whole Figure 2 flow can be followed.
+
+Run with::
+
+    python examples/slurm_coallocation.py
+"""
+
+from repro.cpuset import ClusterTopology
+from repro.runtime import ApplicationProcess, MpiCommunicator, ProcessSpec, ThreadModel
+from repro.slurm import JobSpec, Slurmctld, Slurmd, Srun
+
+
+def show_node_state(slurmds: dict[str, Slurmd], title: str) -> None:
+    print(f"\n{title}")
+    for name, slurmd in slurmds.items():
+        entries = ", ".join(
+            f"pid {entry.pid}: {entry.assigned_mask.to_list_string()}"
+            + (" (pending ack)" if entry.dirty else "")
+            for entry in slurmd.shmem
+        )
+        print(f"  {name}: {entries or '(idle)'}")
+
+
+def main() -> None:
+    cluster = ClusterTopology.marenostrum3(2)
+    ctld = Slurmctld(cluster, drom_enabled=True)
+    slurmds = {node.name: Slurmd(node, drom_enabled=True) for node in cluster.nodes}
+    srun = Srun(slurmds)
+
+    # --- job 1: the simulation, submitted at t=0 --------------------------------
+    sim = ctld.submit(
+        JobSpec(name="simulation", nodes=2, ntasks=2, cpus_per_task=16), time=0.0
+    )
+    for decision in ctld.schedule(0.0):
+        print(f"slurmctld: job {decision.job.spec.name!r} -> nodes {decision.nodes} "
+              f"(co-allocated: {decision.co_allocated})")
+    launch_sim = srun.launch(sim)
+    comm = MpiCommunicator(size=2, job_id=sim.job_id)
+    sim_procs = []
+    for task in launch_sim.tasks():
+        proc = ApplicationProcess(
+            ProcessSpec(pid=task.pid, node=task.node, mpi_rank=task.global_rank,
+                        thread_model=ThreadModel.OPENMP, initial_mask=task.mask),
+            slurmds[task.node].shmem, comm=comm, environ=task.environ,
+        )
+        proc.start()
+        sim_procs.append(proc)
+    show_node_state(slurmds, "after the simulation starts (it owns both nodes):")
+
+    # --- job 2: a second full-node job arrives at t=600 --------------------------
+    analysis = ctld.submit(
+        JobSpec(name="analysis", nodes=2, ntasks=2, cpus_per_task=16), time=600.0
+    )
+    for decision in ctld.schedule(600.0):
+        print(f"\nslurmctld: job {decision.job.spec.name!r} -> nodes {decision.nodes} "
+              f"(co-allocated: {decision.co_allocated})")
+    srun.launch(analysis)
+    show_node_state(
+        slurmds,
+        "after launch_request/pre_launch of the analysis "
+        "(simulation masks shrunk in shared memory, not yet acknowledged):",
+    )
+
+    # The simulation ranks reach their next MPI call: PMPI polls DROM and the
+    # OpenMP teams shrink to the new masks.
+    for rank_index in range(2):
+        comm.rank(rank_index).barrier()
+    print("\nsimulation thread counts after its next MPI call:",
+          [proc.num_threads for proc in sim_procs])
+    show_node_state(slurmds, "steady state with both jobs sharing the nodes:")
+
+    # --- job 2 completes: post_term + release_resources --------------------------
+    srun.terminate(analysis)
+    ctld.job_completed(analysis.job_id, 1800.0)
+    for proc in sim_procs:
+        proc.poll_malleability()
+    print("\nsimulation thread counts after the analysis finished:",
+          [proc.num_threads for proc in sim_procs])
+    show_node_state(slurmds, "after release_resources handed the CPUs back:")
+
+    # --- cleanup -----------------------------------------------------------------
+    for proc in sim_procs:
+        proc.finish()
+    srun.terminate(sim)
+    ctld.job_completed(sim.job_id, 3000.0)
+    print("\nall jobs completed; nodes are empty again")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Application model base: configurations, work plans and rank state.
+
+An :class:`ApplicationModel` couples a :class:`PerformanceProfile` with a
+work volume and an iteration structure.  The workload runner instantiates one
+:class:`RankWorkPlan` per MPI rank; each entry of the plan is one *step* — a
+quantum of work ending at a malleability point (an MPI call, an OMPT
+parallel-begin, or a manual ``DLB_PollDROM``), exactly the points at which the
+real integrations let DROM change the thread team.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.perfmodel import PerformanceProfile, PhaseProfile
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import NodeTopology
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """One MPI×OpenMP configuration of an application (a Table 1 entry)."""
+
+    label: str
+    mpi_ranks: int
+    threads_per_rank: int
+
+    def __post_init__(self) -> None:
+        if self.mpi_ranks <= 0 or self.threads_per_rank <= 0:
+            raise ValueError("ranks and threads must be positive")
+
+    @property
+    def total_cpus(self) -> int:
+        return self.mpi_ranks * self.threads_per_rank
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.mpi_ranks} x {self.threads_per_rank})"
+
+
+@dataclass(frozen=True)
+class WorkStep:
+    """One quantum of work of one rank, ending at a malleability point."""
+
+    phase: PhaseProfile
+    work_units: float
+
+
+@dataclass
+class RankWorkPlan:
+    """Mutable per-rank execution state: remaining steps plus bookkeeping."""
+
+    rank: int
+    steps: list[WorkStep]
+    #: Thread-team size the application initialised with (fixes the static
+    #: data partition; never changes even when the mask shrinks/expands).
+    initial_threads: int
+    next_step: int = 0
+    completed_work: float = 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.next_step >= len(self.steps)
+
+    @property
+    def remaining_steps(self) -> int:
+        return len(self.steps) - self.next_step
+
+    def current_step(self) -> WorkStep:
+        if self.finished:
+            raise IndexError(f"rank {self.rank} has no remaining steps")
+        return self.steps[self.next_step]
+
+    def advance(self) -> WorkStep:
+        step = self.current_step()
+        self.next_step += 1
+        self.completed_work += step.work_units
+        return step
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """A runnable application: performance profile + work volume + structure.
+
+    Parameters
+    ----------
+    profile:
+        The analytic performance model.
+    total_work:
+        Work of the whole application in nominal CPU-seconds, summed over all
+        ranks (i.e. ``total_work / total_cpus`` seconds on perfectly scaling
+        hardware).
+    iterations:
+        Number of main-loop iterations (= malleability points per rank).
+        Earlier phases get a proportional number of steps, at least one.
+    malleable:
+        Whether the application polls DROM and adapts (the paper's patched
+        NEST/CoreNeuron and the DLB-enabled Pils/STREAM are malleable; the
+        ablation benchmarks also build non-malleable variants).
+    """
+
+    profile: PerformanceProfile
+    total_work: float
+    iterations: int = 200
+    malleable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_work <= 0:
+            raise ValueError("total_work must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # -- plan construction ----------------------------------------------------------
+
+    def steps_for_phase(self, phase: PhaseProfile) -> int:
+        return max(1, round(self.iterations * phase.work_fraction))
+
+    def build_rank_plan(self, rank: int, config: AppConfig) -> RankWorkPlan:
+        """Build the per-rank step list for one configuration."""
+        work_per_rank = self.total_work / config.mpi_ranks
+        steps: list[WorkStep] = []
+        for phase in self.profile.phases:
+            nsteps = self.steps_for_phase(phase)
+            phase_work = work_per_rank * phase.work_fraction
+            per_step = phase_work / nsteps
+            steps.extend(WorkStep(phase=phase, work_units=per_step) for _ in range(nsteps))
+        return RankWorkPlan(
+            rank=rank, steps=steps, initial_threads=config.threads_per_rank
+        )
+
+    def build_plans(self, config: AppConfig) -> list[RankWorkPlan]:
+        return [self.build_rank_plan(rank, config) for rank in range(config.mpi_ranks)]
+
+    # -- timing ------------------------------------------------------------------------
+
+    def step_time(
+        self,
+        plan: RankWorkPlan,
+        mask: CpuSet,
+        topology: NodeTopology,
+        total_ranks: int,
+        interference: float = 1.0,
+    ) -> float:
+        """Wall-clock duration of the rank's next step with the given mask."""
+        step = plan.current_step()
+        return self.profile.iteration_time(
+            phase=step.phase,
+            work_units=step.work_units,
+            mask=mask,
+            topology=topology,
+            initial_threads=plan.initial_threads,
+            total_ranks=total_ranks,
+            interference=interference,
+        )
+
+    def step_ipc(
+        self, plan: RankWorkPlan, mask: CpuSet, topology: NodeTopology
+    ) -> float:
+        """Average per-thread IPC during the rank's next step."""
+        step = plan.current_step()
+        return self.profile.ipc(
+            phase=step.phase,
+            mask=mask,
+            topology=topology,
+            initial_threads=plan.initial_threads,
+        )
+
+    # -- reference timings ------------------------------------------------------------------
+
+    def standalone_runtime(self, config: AppConfig, topology: NodeTopology) -> float:
+        """Estimated runtime when the application owns its full request.
+
+        Computed by walking the plan of rank 0 with its nominal mask (ranks
+        are balanced, so rank 0 is representative).  Used for calibration and
+        by the benchmarks to report per-application reference times.
+        """
+        plan = self.build_rank_plan(0, config)
+        # Nominal mask: the first threads_per_rank CPUs of the node, i.e. the
+        # placement the task/affinity plugin gives an uncontended rank.
+        mask = CpuSet.from_range(0, min(config.threads_per_rank, topology.ncpus))
+        total = 0.0
+        while not plan.finished:
+            total += self.step_time(plan, mask, topology, total_ranks=config.mpi_ranks)
+            plan.advance()
+        return total

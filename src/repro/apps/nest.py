@@ -1,0 +1,90 @@
+"""NEST — spiking neural network simulator model.
+
+The paper runs a malleability-patched NEST 2.12 (MPI+OpenMP).  The properties
+that matter for the experiments, all encoded in the profile below:
+
+* hybrid MPI+OpenMP with a short, memory-heavy construction/initialisation
+  phase followed by a long simulation loop;
+* **static data partition**: neurons are distributed over threads at
+  initialisation; when DROM removes threads the orphaned pieces are executed
+  as extra rounds by the remaining threads (Figure 5), so shrinking costs more
+  than the ideal 1/n — and the *relative* excess shrinks as more CPUs are
+  removed (the Conf. 3 observation in Section 6.1);
+* thread efficiency drops when a rank's team spans both sockets, which is why
+  the paper sees higher IPC with Conf. 2 (4×8) than Conf. 1 (2×16);
+* more MPI ranks exchange more spikes, which is why Conf. 2 is nevertheless
+  not outright faster than Conf. 1.
+
+The default calibration targets a standalone Conf. 1 runtime of roughly
+2600 s on the two-node MN3 partition — the same order as the paper's runs.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel
+from repro.apps.perfmodel import (
+    MemoryBandwidthModel,
+    PerformanceProfile,
+    PhaseProfile,
+    StaticPartition,
+    ThreadEfficiency,
+)
+
+#: Default total work in nominal CPU-seconds (all ranks together); calibrated
+#: so that Conf. 1 (2 ranks x 16 threads) runs for ~2600 s standalone.
+DEFAULT_TOTAL_WORK = 56_000.0
+#: Main-loop malleability points per rank.
+DEFAULT_ITERATIONS = 260
+
+
+def nest_profile(chunks_per_thread: int = 4) -> PerformanceProfile:
+    """The NEST performance profile.
+
+    ``chunks_per_thread`` controls the granularity of the static data
+    partition; 4 reproduces Figure 5's "removed thread's data is computed by
+    the first 4 threads".  ``chunks_per_thread=0`` builds the hypothetical
+    fully malleable NEST the paper mentions as the fix for the imbalance.
+    """
+    solve_efficiency = ThreadEfficiency(alpha=0.012, numa_penalty=0.24)
+    init_efficiency = ThreadEfficiency(alpha=0.05, numa_penalty=0.10)
+    return PerformanceProfile(
+        name="nest",
+        phases=(
+            PhaseProfile(
+                name="build-network",
+                work_fraction=0.03,
+                efficiency=init_efficiency,
+                memory=MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=2.0),
+                base_ipc=0.7,
+                comm_overhead_per_rank=0.02,
+            ),
+            PhaseProfile(
+                name="simulate",
+                work_fraction=0.97,
+                efficiency=solve_efficiency,
+                base_ipc=1.25,
+                comm_overhead_per_rank=0.115,
+            ),
+        ),
+        partition=StaticPartition(chunks_per_thread=chunks_per_thread),
+    )
+
+
+def nest_model(
+    total_work: float = DEFAULT_TOTAL_WORK,
+    iterations: int = DEFAULT_ITERATIONS,
+    chunks_per_thread: int = 4,
+    malleable: bool = True,
+) -> ApplicationModel:
+    """Build the NEST application model.
+
+    ``malleable=False`` builds an unpatched NEST that never reacts to DROM
+    (used by the ablation benchmarks); ``chunks_per_thread=0`` builds the
+    fully malleable variant without the static-partition penalty.
+    """
+    return ApplicationModel(
+        profile=nest_profile(chunks_per_thread=chunks_per_thread),
+        total_work=total_work,
+        iterations=iterations,
+        malleable=malleable,
+    )

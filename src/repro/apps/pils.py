@@ -1,0 +1,56 @@
+"""Pils — compute-bound synthetic benchmark (MPI + OmpSs).
+
+Pils performs computation-intensive operations and is used by the paper to
+stand in for a compute-bound in-situ analytics program.  Being OmpSs/task
+based it is *fully malleable*: no static partition, near-perfect scaling, and
+it adapts its worker pool at any task boundary.
+
+In the paper Pils is configured per experiment ("it can be configured to run
+with different numbers of MPI processes and OmpSs threads"); the three
+Table-1 configurations use different problem sizes so that each remains a
+short analytics-style job relative to the simulators.  The per-configuration
+work volumes live in :mod:`repro.workload.configs`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ApplicationModel
+from repro.apps.perfmodel import (
+    PerformanceProfile,
+    PhaseProfile,
+    StaticPartition,
+    ThreadEfficiency,
+)
+
+DEFAULT_ITERATIONS = 60
+
+
+def pils_profile() -> PerformanceProfile:
+    """The Pils performance profile: one compute-bound, well-scaling phase."""
+    return PerformanceProfile(
+        name="pils",
+        phases=(
+            PhaseProfile(
+                name="compute",
+                work_fraction=1.0,
+                efficiency=ThreadEfficiency(alpha=0.002, numa_penalty=0.02),
+                base_ipc=1.8,
+                comm_overhead_per_rank=0.005,
+            ),
+        ),
+        partition=StaticPartition(chunks_per_thread=0),
+    )
+
+
+def pils_model(
+    total_work: float,
+    iterations: int = DEFAULT_ITERATIONS,
+    malleable: bool = True,
+) -> ApplicationModel:
+    """Build a Pils instance with ``total_work`` nominal CPU-seconds."""
+    return ApplicationModel(
+        profile=pils_profile(),
+        total_work=total_work,
+        iterations=iterations,
+        malleable=malleable,
+    )

@@ -1,0 +1,61 @@
+"""DLB framework core: shared memory, DROM administrator API, process handle, LeWI.
+
+This subpackage is the paper's primary contribution — the Dynamic Resource
+Ownership Management (DROM) module inside the DLB library:
+
+* :class:`~repro.core.shmem.NodeSharedMemory` — the lock-protected per-node
+  registry every DLB process attaches to.
+* :class:`~repro.core.drom.DromAdmin` — the administrator API
+  (``DROM_Attach`` … ``DROM_PostFinalize``) used by SLURM or user tools.
+* :class:`~repro.core.dlb.DlbProcess` — the process-side handle
+  (``DLB_Init`` / ``DLB_PollDROM`` / ``DLB_Finalize`` and the asynchronous
+  callback mode).
+* :class:`~repro.core.lewi.LewiModule` — the pre-existing Lend-When-Idle load
+  balancing module DROM coexists with.
+* :class:`~repro.core.flags.DromFlags`, :class:`~repro.core.errors.DlbError` —
+  option flags and return codes mirroring the C interface.
+"""
+
+from repro.core.dlb import DlbProcess
+from repro.core.drom import (
+    DROM_PREINIT_MASK_ENV,
+    DROM_PREINIT_PID_ENV,
+    DromAdmin,
+    PreInitResult,
+    attach_admin,
+)
+from repro.core.errors import (
+    CpuOwnershipError,
+    DlbError,
+    DlbException,
+    NotAttachedError,
+    ProcessAlreadyRegisteredError,
+    ProcessNotRegisteredError,
+)
+from repro.core.flags import DromFlags
+from repro.core.lewi import LewiModule
+from repro.core.shmem import NodeSharedMemory, ProcessEntry, ShmemRegistry
+from repro.core.stats import NodeStatsSummary, ProcessStats, StatsModule
+
+__all__ = [
+    "DlbProcess",
+    "DromAdmin",
+    "PreInitResult",
+    "attach_admin",
+    "DROM_PREINIT_PID_ENV",
+    "DROM_PREINIT_MASK_ENV",
+    "DlbError",
+    "DlbException",
+    "DromFlags",
+    "CpuOwnershipError",
+    "NotAttachedError",
+    "ProcessAlreadyRegisteredError",
+    "ProcessNotRegisteredError",
+    "LewiModule",
+    "NodeSharedMemory",
+    "ProcessEntry",
+    "ShmemRegistry",
+    "StatsModule",
+    "ProcessStats",
+    "NodeStatsSummary",
+]

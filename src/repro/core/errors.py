@@ -1,0 +1,93 @@
+"""DLB return codes and exceptions.
+
+The C library reports errors through negative integer return codes; the
+public Python API in this reproduction mirrors those codes (so benchmarks and
+tests can check the same conditions the paper's integration relies on) while
+also raising typed exceptions for programming errors.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class DlbError(IntEnum):
+    """Return codes of the DLB/DROM API, mirroring ``dlb_errors.h``.
+
+    Non-negative codes are success-ish (``DLB_SUCCESS``, ``DLB_NOUPDT``,
+    ``DLB_NOTED``); negative codes are failures.
+    """
+
+    #: Operation applied and a new value is available (e.g. PollDROM got a mask).
+    DLB_SUCCESS = 0
+    #: Operation succeeded but there was nothing to update (no pending mask).
+    DLB_NOUPDT = 1
+    #: Operation noted; it will complete asynchronously (e.g. a mask change
+    #: that the target process has not yet acknowledged).
+    DLB_NOTED = 2
+
+    #: Unknown / generic error.
+    DLB_ERR_UNKNOWN = -1
+    #: The calling process is not attached / initialised.
+    DLB_ERR_NOINIT = -2
+    #: The process is already initialised / attached.
+    DLB_ERR_INIT = -3
+    #: The target pid is not registered in the shared memory.
+    DLB_ERR_NOPROC = -4
+    #: A pid is already registered (PreInit of an existing pid without steal).
+    DLB_ERR_PDIRTY = -5
+    #: Permission error: the requested CPUs are owned by another process and
+    #: stealing was not requested.
+    DLB_ERR_PERM = -6
+    #: A synchronous operation timed out waiting for the target to react.
+    DLB_ERR_TIMEOUT = -7
+    #: The requested mask is empty or malformed.
+    DLB_ERR_REQST = -8
+    #: The node shared memory is full (too many registered processes).
+    DLB_ERR_NOMEM = -9
+    #: The requested CPUs do not exist in the node.
+    DLB_ERR_NOCOMP = -10
+
+    def is_error(self) -> bool:
+        return self.value < 0
+
+    def ok(self) -> bool:
+        return self.value >= 0
+
+
+class DlbException(RuntimeError):
+    """Base exception for misuse of the DLB/DROM Python API."""
+
+    def __init__(self, code: DlbError, message: str = "") -> None:
+        super().__init__(message or code.name)
+        self.code = code
+
+
+class NotAttachedError(DlbException):
+    """An administrator operation was attempted before ``DROM_Attach``."""
+
+    def __init__(self, message: str = "administrator process is not attached") -> None:
+        super().__init__(DlbError.DLB_ERR_NOINIT, message)
+
+
+class ProcessNotRegisteredError(DlbException):
+    """The target pid is not registered in the node shared memory."""
+
+    def __init__(self, pid: int) -> None:
+        super().__init__(DlbError.DLB_ERR_NOPROC, f"pid {pid} is not registered with DLB")
+        self.pid = pid
+
+
+class ProcessAlreadyRegisteredError(DlbException):
+    """A pid was registered twice (without the steal/replace flags)."""
+
+    def __init__(self, pid: int) -> None:
+        super().__init__(DlbError.DLB_ERR_INIT, f"pid {pid} is already registered with DLB")
+        self.pid = pid
+
+
+class CpuOwnershipError(DlbException):
+    """Requested CPUs belong to another process and stealing was not allowed."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(DlbError.DLB_ERR_PERM, message)

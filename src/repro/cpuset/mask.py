@@ -1,0 +1,263 @@
+"""CPU mask bitset (the reproduction's ``cpu_set_t``).
+
+The real DLB library passes around GNU libc ``cpu_set_t`` structures hidden
+behind the opaque ``dlb_cpu_set_t`` pointer.  Here the same role is played by
+:class:`CpuSet`, an immutable, hashable set of logical CPU identifiers with
+the set algebra that the DROM module and the SLURM task/affinity plugin need.
+
+Keeping the type immutable makes shared-memory bookkeeping trivially safe: a
+mask stored in the node registry can be handed to any number of readers
+without defensive copying, exactly like the value-semantics of ``cpu_set_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class CpuSet:
+    """An immutable set of logical CPU ids.
+
+    Parameters
+    ----------
+    cpus:
+        Any iterable of non-negative integers.  Duplicates are ignored.
+
+    Examples
+    --------
+    >>> a = CpuSet([0, 1, 2, 3])
+    >>> b = CpuSet.from_range(2, 6)
+    >>> (a & b).cpus()
+    (2, 3)
+    >>> (a | b).count()
+    6
+    >>> a - b
+    CpuSet([0, 1])
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, cpus: Iterable[int] = ()) -> None:
+        bits = 0
+        for cpu in cpus:
+            cpu = int(cpu)
+            if cpu < 0:
+                raise ValueError(f"CPU id must be non-negative, got {cpu}")
+            bits |= 1 << cpu
+        object.__setattr__(self, "_bits", bits)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "CpuSet":
+        """Build a mask directly from a bit pattern (bit *i* = CPU *i*)."""
+        if bits < 0:
+            raise ValueError("bit pattern must be non-negative")
+        obj = cls.__new__(cls)
+        object.__setattr__(obj, "_bits", bits)
+        return obj
+
+    @classmethod
+    def from_range(cls, start: int, stop: int) -> "CpuSet":
+        """Mask containing CPUs ``start .. stop-1`` (like ``range``)."""
+        if stop < start:
+            raise ValueError("stop must be >= start")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        return cls.from_bits(((1 << (stop - start)) - 1) << start)
+
+    @classmethod
+    def full(cls, ncpus: int) -> "CpuSet":
+        """Mask of the first ``ncpus`` CPUs (a full node mask)."""
+        return cls.from_range(0, ncpus)
+
+    @classmethod
+    def empty(cls) -> "CpuSet":
+        """The empty mask."""
+        return cls.from_bits(0)
+
+    @classmethod
+    def parse(cls, spec: str) -> "CpuSet":
+        """Parse a Linux-style CPU list, e.g. ``"0-3,8,10-11"``.
+
+        The empty string parses to the empty mask.
+        """
+        spec = spec.strip()
+        if not spec:
+            return cls.empty()
+        cpus: list[int] = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "-" in token:
+                lo_s, hi_s = token.split("-", 1)
+                lo, hi = int(lo_s), int(hi_s)
+                if hi < lo:
+                    raise ValueError(f"invalid CPU range {token!r}")
+                cpus.extend(range(lo, hi + 1))
+            else:
+                cpus.append(int(token))
+        return cls(cpus)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw bit pattern (bit *i* set means CPU *i* is in the mask)."""
+        return self._bits
+
+    def cpus(self) -> tuple[int, ...]:
+        """All CPU ids in the mask, ascending."""
+        return tuple(self)
+
+    def count(self) -> int:
+        """Number of CPUs in the mask (``CPU_COUNT``)."""
+        return self._bits.bit_count()
+
+    def contains(self, cpu: int) -> bool:
+        """Whether CPU ``cpu`` is in the mask (``CPU_ISSET``)."""
+        return cpu >= 0 and bool(self._bits >> cpu & 1)
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def lowest(self) -> int:
+        """The lowest CPU id in the mask.
+
+        Raises
+        ------
+        ValueError
+            If the mask is empty.
+        """
+        if self._bits == 0:
+            raise ValueError("empty CpuSet has no lowest CPU")
+        return (self._bits & -self._bits).bit_length() - 1
+
+    def highest(self) -> int:
+        """The highest CPU id in the mask."""
+        if self._bits == 0:
+            raise ValueError("empty CpuSet has no highest CPU")
+        return self._bits.bit_length() - 1
+
+    def issubset(self, other: "CpuSet") -> bool:
+        return self._bits & ~other._bits == 0
+
+    def issuperset(self, other: "CpuSet") -> bool:
+        return other.issubset(self)
+
+    def isdisjoint(self, other: "CpuSet") -> bool:
+        return self._bits & other._bits == 0
+
+    def first(self, n: int) -> "CpuSet":
+        """The ``n`` lowest-numbered CPUs of this mask.
+
+        If the mask has fewer than ``n`` CPUs the whole mask is returned.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        picked = 0
+        remaining = self._bits
+        for _ in range(min(n, self.count())):
+            low = remaining & -remaining
+            picked |= low
+            remaining ^= low
+        return CpuSet.from_bits(picked)
+
+    def last(self, n: int) -> "CpuSet":
+        """The ``n`` highest-numbered CPUs of this mask."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        cpus = self.cpus()
+        return CpuSet(cpus[len(cpus) - min(n, len(cpus)):])
+
+    # -- set algebra -----------------------------------------------------
+
+    def union(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_bits(self._bits | other._bits)
+
+    def intersection(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_bits(self._bits & other._bits)
+
+    def difference(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_bits(self._bits & ~other._bits)
+
+    def symmetric_difference(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_bits(self._bits ^ other._bits)
+
+    def add(self, cpu: int) -> "CpuSet":
+        """Return a new mask with ``cpu`` added (``CPU_SET``)."""
+        if cpu < 0:
+            raise ValueError("CPU id must be non-negative")
+        return CpuSet.from_bits(self._bits | (1 << cpu))
+
+    def remove(self, cpu: int) -> "CpuSet":
+        """Return a new mask with ``cpu`` removed (``CPU_CLR``)."""
+        if cpu < 0:
+            raise ValueError("CPU id must be non-negative")
+        return CpuSet.from_bits(self._bits & ~(1 << cpu))
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    # -- dunder ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __contains__(self, cpu: object) -> bool:
+        return isinstance(cpu, int) and self.contains(cpu)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CpuSet):
+            return self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CpuSet", self._bits))
+
+    def __le__(self, other: "CpuSet") -> bool:
+        return self.issubset(other)
+
+    def __ge__(self, other: "CpuSet") -> bool:
+        return self.issuperset(other)
+
+    def __lt__(self, other: "CpuSet") -> bool:
+        return self.issubset(other) and self != other
+
+    def __gt__(self, other: "CpuSet") -> bool:
+        return self.issuperset(other) and self != other
+
+    def __repr__(self) -> str:
+        return f"CpuSet([{', '.join(str(c) for c in self)}])"
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CpuSet is immutable")
+
+    def to_list_string(self) -> str:
+        """Render as a compact Linux CPU list, e.g. ``"0-3,8"``."""
+        cpus: Sequence[int] = self.cpus()
+        if not cpus:
+            return ""
+        ranges: list[tuple[int, int]] = []
+        start = prev = cpus[0]
+        for cpu in cpus[1:]:
+            if cpu == prev + 1:
+                prev = cpu
+                continue
+            ranges.append((start, prev))
+            start = prev = cpu
+        ranges.append((start, prev))
+        return ",".join(f"{a}-{b}" if a != b else f"{a}" for a, b in ranges)

@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per use case plus table/figure rendering."""
+
+from repro.experiments.usecase1 import (
+    ImbalanceTrace,
+    ScenarioTimeline,
+    WorkloadComparison,
+    compare_workload,
+    imbalance_trace,
+    scenario_timelines,
+    simulator_average_response,
+    simulator_pils_response,
+    simulator_pils_run_time,
+    simulator_stream,
+)
+from repro.experiments.usecase2 import UseCase2Result, run_usecase2
+from repro.experiments.tables import (
+    render_average_response_figure,
+    render_response_figure,
+    render_run_time_figure,
+    render_table,
+    render_table1,
+)
+
+__all__ = [
+    "WorkloadComparison",
+    "compare_workload",
+    "simulator_pils_run_time",
+    "simulator_pils_response",
+    "simulator_stream",
+    "simulator_average_response",
+    "imbalance_trace",
+    "ImbalanceTrace",
+    "scenario_timelines",
+    "ScenarioTimeline",
+    "UseCase2Result",
+    "run_usecase2",
+    "render_table",
+    "render_table1",
+    "render_run_time_figure",
+    "render_response_figure",
+    "render_average_response_figure",
+]

@@ -1,0 +1,249 @@
+"""Use case 1 — In-Situ Analytics (Section 6.1, Figures 3–12).
+
+Each function regenerates the data behind one figure: the Serial and DROM
+scenarios of the corresponding workloads are simulated and the same series the
+paper plots (total run time, per-job response time, average response time,
+thread utilisation traces) are returned as plain data structures, ready to be
+printed by the benchmarks or asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.collect import relative_improvement
+from repro.metrics.paraver import ParaverView
+from repro.workload.runner import DROM, SERIAL, ScenarioResult, run_both_scenarios
+from repro.workload.workloads import Workload, in_situ_workload
+
+#: Analytics configurations evaluated against each simulator configuration,
+#: matching the X axes of Figures 4/6 (Pils) and 7 (STREAM).
+PILS_CONFIGS = ("Conf. 1", "Conf. 2", "Conf. 3")
+SIMULATOR_CONFIGS = ("Conf. 1", "Conf. 2")
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """Serial vs DROM comparison of one workload (one X position of a figure)."""
+
+    workload: str
+    simulator: str
+    simulator_config: str
+    analytics: str
+    analytics_config: str
+    serial_total_run_time: float
+    drom_total_run_time: float
+    serial_response: dict[str, float]
+    drom_response: dict[str, float]
+    serial_average_response: float
+    drom_average_response: float
+
+    @property
+    def total_run_time_gain(self) -> float:
+        """Fractional improvement of DROM over Serial (positive = DROM wins)."""
+        return relative_improvement(self.serial_total_run_time, self.drom_total_run_time)
+
+    @property
+    def average_response_gain(self) -> float:
+        return relative_improvement(
+            self.serial_average_response, self.drom_average_response
+        )
+
+    @property
+    def simulator_label(self) -> str:
+        return f"{self.simulator} {self.simulator_config}"
+
+    @property
+    def analytics_label(self) -> str:
+        return f"{self.analytics} {self.analytics_config}"
+
+    @property
+    def simulator_response_change(self) -> float:
+        """Fractional increase of the simulator's response time under DROM."""
+        serial = self.serial_response[self.simulator_label]
+        drom = self.drom_response[self.simulator_label]
+        return drom / serial - 1.0
+
+    @property
+    def analytics_response_reduction(self) -> float:
+        """Fractional decrease of the analytics' response time under DROM."""
+        serial = self.serial_response[self.analytics_label]
+        drom = self.drom_response[self.analytics_label]
+        return 1.0 - drom / serial
+
+
+def compare_workload(
+    simulator: str,
+    simulator_config: str,
+    analytics: str,
+    analytics_config: str,
+) -> WorkloadComparison:
+    """Run the Serial and DROM scenarios of one simulator+analytics workload."""
+    workload = in_situ_workload(simulator, simulator_config, analytics, analytics_config)
+    results = run_both_scenarios(workload)
+    serial, drom = results[SERIAL], results[DROM]
+    return WorkloadComparison(
+        workload=workload.name,
+        simulator=simulator,
+        simulator_config=simulator_config,
+        analytics=analytics,
+        analytics_config=analytics_config,
+        serial_total_run_time=serial.metrics.total_run_time,
+        drom_total_run_time=drom.metrics.total_run_time,
+        serial_response=dict(serial.metrics.response_times()),
+        drom_response=dict(drom.metrics.response_times()),
+        serial_average_response=serial.metrics.average_response_time,
+        drom_average_response=drom.metrics.average_response_time,
+    )
+
+
+# -- Figures 4/9 (total run time, simulator + Pils) --------------------------------------
+
+
+def simulator_pils_run_time(simulator: str) -> list[WorkloadComparison]:
+    """Figure 4 (NEST) / Figure 9 (CoreNeuron): total run time vs Pils config."""
+    return [
+        compare_workload(simulator, sim_conf, "Pils", pils_conf)
+        for sim_conf in SIMULATOR_CONFIGS
+        for pils_conf in PILS_CONFIGS
+    ]
+
+
+# -- Figures 6/10 (individual response times, simulator + Pils) -----------------------------
+
+
+def simulator_pils_response(simulator: str) -> list[WorkloadComparison]:
+    """Figure 6 (NEST) / Figure 10 (CoreNeuron): per-job response times."""
+    return simulator_pils_run_time(simulator)
+
+
+# -- Figures 7/11 (simulator + STREAM) ------------------------------------------------------
+
+
+def simulator_stream(simulator: str) -> list[WorkloadComparison]:
+    """Figure 7 (NEST) / Figure 11 (CoreNeuron): run time and response with STREAM."""
+    return [
+        compare_workload(simulator, sim_conf, "STREAM", "Conf. 1")
+        for sim_conf in SIMULATOR_CONFIGS
+    ]
+
+
+# -- Figures 8/12 (average response time over all workloads of one simulator) ------------------
+
+
+def simulator_average_response(simulator: str) -> list[WorkloadComparison]:
+    """Figure 8 (NEST) / Figure 12 (CoreNeuron): average response times."""
+    comparisons = []
+    for sim_conf in SIMULATOR_CONFIGS:
+        for pils_conf in PILS_CONFIGS:
+            comparisons.append(compare_workload(simulator, sim_conf, "Pils", pils_conf))
+        comparisons.append(compare_workload(simulator, sim_conf, "STREAM", "Conf. 1"))
+    return comparisons
+
+
+# -- Figure 5 (imbalance trace after shrinking) ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImbalanceTrace:
+    """Figure 5: per-thread utilisation of the shrunk NEST rank."""
+
+    workload: str
+    #: Thread utilisation of the simulator's rank 0 over the whole run
+    #: (thread id -> busy fraction).
+    utilisation: dict[int, float]
+    #: Thread utilisation restricted to the period in which the rank ran with
+    #: fewer threads than it initialised with — the window Figure 5 shows.
+    shrunk_utilisation: dict[int, float]
+    #: Number of DROM mask changes the simulator observed.
+    mask_changes: int
+    #: ASCII rendering of the per-thread activity timeline.
+    rendering: str = field(repr=False, default="")
+
+    @property
+    def overloaded_threads(self) -> list[int]:
+        """Threads that stay fully busy during the shrunk window (they pick up
+        the orphaned chunks of the removed thread)."""
+        return [t for t, u in self.shrunk_utilisation.items() if u >= 0.999]
+
+    @property
+    def underloaded_threads(self) -> list[int]:
+        """Threads that show idle time during the shrunk window."""
+        return [t for t, u in self.shrunk_utilisation.items() if u < 0.999]
+
+
+def imbalance_trace(
+    simulator: str = "NEST",
+    simulator_config: str = "Conf. 1",
+    analytics_config: str = "Conf. 2",
+) -> ImbalanceTrace:
+    """Reproduce Figure 5: the static-partition imbalance after a shrink.
+
+    The simulator loses one CPU per node to Pils Conf. 2; the orphaned data
+    chunks are executed by a subset of the remaining threads, which therefore
+    stay busy while the others show idle time.
+    """
+    workload = in_situ_workload(simulator, simulator_config, "Pils", analytics_config)
+    result: ScenarioResult = run_both_scenarios(workload)[DROM]
+    sim_label = workload.jobs[0].label
+    tracer = result.tracer
+    view = ParaverView(tracer, bin_seconds=100.0)
+
+    # Utilisation restricted to the steps executed with a reduced team.
+    shrunk_busy: dict[int, float] = {}
+    shrunk_total: dict[int, float] = {}
+    for step in tracer.steps(sim_label, rank=0):
+        plan_threads = len(step.thread_utilisation)
+        if plan_threads == 0:
+            continue
+        initial = workload.jobs[0].app.config.threads_per_rank
+        if step.nthreads >= initial:
+            continue
+        for thread, util in enumerate(step.thread_utilisation):
+            shrunk_busy[thread] = shrunk_busy.get(thread, 0.0) + util * step.duration
+            shrunk_total[thread] = shrunk_total.get(thread, 0.0) + step.duration
+    shrunk_utilisation = {
+        t: shrunk_busy[t] / shrunk_total[t] for t in sorted(shrunk_busy)
+    }
+
+    return ImbalanceTrace(
+        workload=workload.name,
+        utilisation=tracer.thread_utilisation(sim_label, rank=0),
+        shrunk_utilisation=shrunk_utilisation,
+        mask_changes=len(tracer.mask_changes(sim_label)),
+        rendering=view.render_thread_activity(sim_label),
+    )
+
+
+# -- Figure 3 (conceptual timeline) ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioTimeline:
+    """Figure 3: width (CPUs in use) of each job over time, per scenario."""
+
+    scenario: str
+    rendering: str
+    job_intervals: dict[str, tuple[float, float]]
+
+
+def scenario_timelines(
+    simulator: str = "NEST",
+    simulator_config: str = "Conf. 1",
+    analytics: str = "Pils",
+    analytics_config: str = "Conf. 2",
+) -> dict[str, ScenarioTimeline]:
+    """Reproduce the Figure 3 schematic from actual simulated runs."""
+    workload = in_situ_workload(simulator, simulator_config, analytics, analytics_config)
+    results = run_both_scenarios(workload)
+    timelines: dict[str, ScenarioTimeline] = {}
+    for scenario, result in results.items():
+        view = ParaverView(result.tracer, bin_seconds=100.0)
+        labels = [job.label for job in workload.jobs]
+        intervals = {label: result.tracer.span(label) for label in labels}
+        timelines[scenario] = ScenarioTimeline(
+            scenario=scenario,
+            rendering=view.render_job_widths(labels),
+            job_intervals=intervals,
+        )
+    return timelines

@@ -1,0 +1,132 @@
+"""Use case 2 — High-priority job (Section 6.2, Figures 13–15).
+
+A long NEST simulation is running on the two nodes when a high-priority
+CoreNeuron job arrives.  In the Serial scenario CoreNeuron waits for NEST to
+finish; in the DROM scenario the node CPUs are equipartitioned so CoreNeuron
+starts immediately, and it expands to the full nodes when NEST completes.
+
+The paper reports three observations, each regenerated here:
+
+* Figure 13 — cycles-per-µs traces of both scenarios and a ~2.5 % total
+  run-time improvement with DROM;
+* Figure 14 — per-thread IPC histograms: the two scenarios are comparable,
+  i.e. co-allocation does not disturb the applications;
+* Figure 15 — average response time improves (~10 % in the paper) because the
+  high-priority job starts immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.collect import relative_improvement
+from repro.metrics.counters import CounterLog
+from repro.metrics.paraver import ParaverView
+from repro.workload.runner import DROM, SERIAL, ScenarioResult, run_both_scenarios
+from repro.workload.workloads import high_priority_workload
+
+
+@dataclass(frozen=True)
+class UseCase2Result:
+    """All the measurements of use case 2, for both scenarios."""
+
+    serial: ScenarioResult
+    drom: ScenarioResult
+    nest_label: str
+    coreneuron_label: str
+
+    # -- Figure 13: total run time + traces -------------------------------------------
+
+    @property
+    def serial_total_run_time(self) -> float:
+        return self.serial.metrics.total_run_time
+
+    @property
+    def drom_total_run_time(self) -> float:
+        return self.drom.metrics.total_run_time
+
+    @property
+    def total_run_time_gain(self) -> float:
+        return relative_improvement(self.serial_total_run_time, self.drom_total_run_time)
+
+    def cycles_rendering(self, scenario: str, bin_seconds: float = 200.0) -> str:
+        """ASCII equivalent of Figure 13's per-job width/cycles timeline."""
+        result = self.serial if scenario == SERIAL else self.drom
+        view = ParaverView(result.tracer, bin_seconds=bin_seconds)
+        return view.render_job_widths([self.nest_label, self.coreneuron_label])
+
+    # -- Figure 14: IPC histograms ----------------------------------------------------------
+
+    def counter_log(self, scenario: str) -> CounterLog:
+        result = self.serial if scenario == SERIAL else self.drom
+        return result.tracer.counter_log()
+
+    def mean_ipc(self, scenario: str, job: str) -> float:
+        return self.counter_log(scenario).mean_ipc(job)
+
+    def ipc_comparison(self) -> dict[str, tuple[float, float]]:
+        """job -> (serial mean IPC, DROM mean IPC); the two should be close."""
+        out: dict[str, tuple[float, float]] = {}
+        for job in (self.nest_label, self.coreneuron_label):
+            out[job] = (self.mean_ipc(SERIAL, job), self.mean_ipc(DROM, job))
+        return out
+
+    def ipc_histograms(self, scenario: str, bins: int = 20) -> dict[str, np.ndarray]:
+        """job -> aggregated IPC histogram over all threads (Figure 14)."""
+        log = self.counter_log(scenario)
+        out: dict[str, np.ndarray] = {}
+        for job in (self.nest_label, self.coreneuron_label):
+            per_thread = log.ipc_histogram(job, bins=bins)
+            total = np.zeros(bins)
+            for counts in per_thread.values():
+                total += counts
+            out[job] = total
+        return out
+
+    # -- Figure 15: average response time ---------------------------------------------------------
+
+    @property
+    def serial_average_response(self) -> float:
+        return self.serial.metrics.average_response_time
+
+    @property
+    def drom_average_response(self) -> float:
+        return self.drom.metrics.average_response_time
+
+    @property
+    def average_response_gain(self) -> float:
+        return relative_improvement(self.serial_average_response, self.drom_average_response)
+
+    # -- per-job details --------------------------------------------------------------------------------
+
+    def response_times(self) -> dict[str, dict[str, float]]:
+        return {
+            SERIAL: dict(self.serial.metrics.response_times()),
+            DROM: dict(self.drom.metrics.response_times()),
+        }
+
+    def wait_times(self) -> dict[str, dict[str, float]]:
+        return {
+            SERIAL: dict(self.serial.metrics.wait_times()),
+            DROM: dict(self.drom.metrics.wait_times()),
+        }
+
+    def coreneuron_expanded(self) -> bool:
+        """Whether CoreNeuron grew back to the full nodes after NEST ended
+        (the expansion at time (d) of Figure 13)."""
+        changes = self.drom.tracer.mask_changes(self.coreneuron_label)
+        return any(change.new_threads > 8 for change in changes)
+
+
+def run_usecase2(second_submit: float = 120.0) -> UseCase2Result:
+    """Run both scenarios of use case 2 and bundle the measurements."""
+    workload = high_priority_workload(second_submit=second_submit)
+    results = run_both_scenarios(workload)
+    return UseCase2Result(
+        serial=results[SERIAL],
+        drom=results[DROM],
+        nest_label=workload.jobs[0].label,
+        coreneuron_label=workload.jobs[1].label,
+    )

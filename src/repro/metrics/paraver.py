@@ -1,0 +1,121 @@
+"""Paraver-like trace analysis and ASCII rendering.
+
+Paraver displays one row per thread with time on the X axis and a colour per
+metric value.  The functions here produce the same views as text: a
+per-thread timeline of thread counts or cycles/µs, binned over time, rendered
+with a small character ramp.  They back the Figure 5 and Figure 13 benchmark
+output and the `examples/insitu_analytics.py` visualisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.tracing import Tracer
+
+#: Character ramp from idle to fully busy.
+_RAMP = " .:-=+*#%@"
+
+
+def _ramp_char(value: float, maximum: float) -> str:
+    if maximum <= 0:
+        return _RAMP[0]
+    idx = int(round((len(_RAMP) - 1) * max(0.0, min(1.0, value / maximum))))
+    return _RAMP[idx]
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One rendered row of a timeline."""
+
+    label: str
+    values: np.ndarray
+
+    def render(self, maximum: float) -> str:
+        return "".join(_ramp_char(v, maximum) for v in self.values)
+
+
+class ParaverView:
+    """Builds binned per-thread timelines from a :class:`Tracer`."""
+
+    def __init__(self, tracer: Tracer, bin_seconds: float = 50.0) -> None:
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        self.tracer = tracer
+        self.bin_seconds = bin_seconds
+
+    # -- timelines -------------------------------------------------------------------
+
+    def horizon(self) -> float:
+        ends = [step.end for step in self.tracer]
+        return max(ends) if ends else 0.0
+
+    def _nbins(self) -> int:
+        return int(np.ceil(self.horizon() / self.bin_seconds)) + 1
+
+    def thread_activity(self, job: str) -> list[TimelineRow]:
+        """One row per (rank, thread): time-binned busy fraction."""
+        nbins = self._nbins()
+        rows: dict[tuple[int, int], np.ndarray] = {}
+        weights: dict[tuple[int, int], np.ndarray] = {}
+        for step in self.tracer.steps(job):
+            for thread, util in enumerate(step.thread_utilisation):
+                key = (step.rank, thread)
+                rows.setdefault(key, np.zeros(nbins))
+                weights.setdefault(key, np.zeros(nbins))
+                first = int(step.start // self.bin_seconds)
+                last = int(step.end // self.bin_seconds)
+                for b in range(first, last + 1):
+                    lo = max(step.start, b * self.bin_seconds)
+                    hi = min(step.end, (b + 1) * self.bin_seconds)
+                    if hi <= lo:
+                        continue
+                    rows[key][b] += util * (hi - lo)
+                    weights[key][b] += hi - lo
+        out: list[TimelineRow] = []
+        for key in sorted(rows):
+            with np.errstate(invalid="ignore", divide="ignore"):
+                values = np.where(weights[key] > 0, rows[key] / np.maximum(weights[key], 1e-12), 0.0)
+            out.append(TimelineRow(label=f"{job} r{key[0]} t{key[1]}", values=values))
+        return out
+
+    def job_thread_count(self, job: str) -> TimelineRow:
+        """Aggregate thread count of a job over time (the Figure 3/13 shape)."""
+        nbins = self._nbins()
+        values = np.zeros(nbins)
+        weights = np.zeros(nbins)
+        for step in self.tracer.steps(job):
+            first = int(step.start // self.bin_seconds)
+            last = int(step.end // self.bin_seconds)
+            for b in range(first, last + 1):
+                lo = max(step.start, b * self.bin_seconds)
+                hi = min(step.end, (b + 1) * self.bin_seconds)
+                if hi <= lo:
+                    continue
+                values[b] += step.nthreads * (hi - lo)
+                weights[b] += hi - lo
+        with np.errstate(invalid="ignore", divide="ignore"):
+            averaged = np.where(weights > 0, values / np.maximum(weights, 1e-12), 0.0)
+        return TimelineRow(label=job, values=averaged)
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def render_thread_activity(self, job: str) -> str:
+        """ASCII rendering of per-thread utilisation (the Figure 5 view)."""
+        rows = self.thread_activity(job)
+        if not rows:
+            return f"(no trace data for {job})"
+        width = max(len(row.label) for row in rows)
+        lines = [f"{row.label:<{width}} |{row.render(1.0)}|" for row in rows]
+        return "\n".join(lines)
+
+    def render_job_widths(self, jobs: list[str]) -> str:
+        """ASCII rendering of per-job thread counts over time (Figure 13 shape)."""
+        rows = [self.job_thread_count(job) for job in jobs]
+        maximum = max((row.values.max() for row in rows if row.values.size), default=1.0)
+        width = max(len(row.label) for row in rows)
+        lines = [f"{row.label:<{width}} |{row.render(maximum)}|" for row in rows]
+        header = f"{'':<{width}}  one column = {self.bin_seconds:.0f}s"
+        return "\n".join([header, *lines])

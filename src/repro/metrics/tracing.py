@@ -1,0 +1,145 @@
+"""Extrae-like execution tracing.
+
+The paper obtains application metrics "by tracing the use cases using Extrae
+and visualizing traces with Paraver".  The tracer below records one
+:class:`StepRecord` per rank per execution step (the malleability-point
+granularity of the simulation) plus mask-change events; Figure 5's per-thread
+utilisation view, Figure 13's timelines and the counter log all derive from
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.metrics.counters import CounterLog, CounterSample
+from repro.sim.events import EventLog
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One execution step of one rank."""
+
+    job: str
+    rank: int
+    node: str
+    start: float
+    duration: float
+    phase: str
+    nthreads: int
+    #: Per-thread busy fraction during the step (length == nthreads).
+    thread_utilisation: tuple[float, ...]
+    ipc: float
+    work_units: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class MaskChangeRecord:
+    """A DROM mask change observed by a rank."""
+
+    job: str
+    rank: int
+    time: float
+    old_threads: int
+    new_threads: int
+
+
+class Tracer:
+    """Collects step and mask-change records for a whole scenario run."""
+
+    def __init__(self, cycles_per_us: float = 2600.0) -> None:
+        self._steps: list[StepRecord] = []
+        self._mask_changes: list[MaskChangeRecord] = []
+        self._cycles_per_us = cycles_per_us
+        self.events = EventLog()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_step(self, record: StepRecord) -> None:
+        self._steps.append(record)
+
+    def record_mask_change(self, record: MaskChangeRecord) -> None:
+        self._mask_changes.append(record)
+
+    # -- queries ------------------------------------------------------------------
+
+    def steps(self, job: str | None = None, rank: int | None = None) -> list[StepRecord]:
+        out = self._steps
+        if job is not None:
+            out = [s for s in out if s.job == job]
+        if rank is not None:
+            out = [s for s in out if s.rank == rank]
+        return list(out)
+
+    def mask_changes(self, job: str | None = None) -> list[MaskChangeRecord]:
+        if job is None:
+            return list(self._mask_changes)
+        return [m for m in self._mask_changes if m.job == job]
+
+    def jobs(self) -> list[str]:
+        seen: list[str] = []
+        for step in self._steps:
+            if step.job not in seen:
+                seen.append(step.job)
+        return seen
+
+    def span(self, job: str) -> tuple[float, float]:
+        """First start and last end of a job's steps."""
+        steps = self.steps(job)
+        if not steps:
+            raise ValueError(f"no steps recorded for job {job!r}")
+        return min(s.start for s in steps), max(s.end for s in steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(self._steps)
+
+    # -- derived views ----------------------------------------------------------------
+
+    def thread_utilisation(self, job: str, rank: int) -> dict[int, float]:
+        """Time-weighted busy fraction per thread over the rank's whole run.
+
+        This is the quantity Figure 5 visualises: after shrinking, the threads
+        that pick up the orphaned chunks stay at 1.0 while the others show
+        idle gaps.
+        """
+        steps = self.steps(job, rank)
+        if not steps:
+            raise ValueError(f"no steps recorded for job {job!r} rank {rank}")
+        busy: dict[int, float] = {}
+        total: dict[int, float] = {}
+        for step in steps:
+            for thread, util in enumerate(step.thread_utilisation):
+                busy[thread] = busy.get(thread, 0.0) + util * step.duration
+                total[thread] = total.get(thread, 0.0) + step.duration
+        return {t: busy[t] / total[t] for t in sorted(busy)}
+
+    def counter_log(self) -> CounterLog:
+        """Expand step records into per-thread counter samples (Figures 13/14)."""
+        log = CounterLog()
+        for step in self._steps:
+            for thread, util in enumerate(step.thread_utilisation):
+                log.record(
+                    CounterSample(
+                        job=step.job,
+                        rank=step.rank,
+                        thread=thread,
+                        start=step.start,
+                        duration=step.duration,
+                        ipc=step.ipc * util,
+                        cycles_per_us=self._cycles_per_us * util,
+                    )
+                )
+        return log
+
+    def merge(self, other: "Tracer") -> None:
+        """Absorb another tracer's records (used when scenarios are composed)."""
+        self._steps.extend(other._steps)
+        self._mask_changes.extend(other._mask_changes)

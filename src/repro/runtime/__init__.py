@@ -1,0 +1,40 @@
+"""Programming-model substrates: OpenMP (+OMPT), OmpSs, MPI (+PMPI).
+
+These are the runtimes the paper integrates DROM with (Section 4).  They are
+behavioural models, not real thread pools: they track exactly the state DROM
+interacts with — team sizes, CPU pinning, task pools, interception hooks — so
+that mask changes propagate with the same semantics (and the same latency,
+i.e. at the next parallel construct / task / MPI call) as in the real stack.
+"""
+
+from repro.runtime.mpi import (
+    DlbPmpiInterceptor,
+    MpiCall,
+    MpiCommunicator,
+    MpiRank,
+    PmpiLayer,
+)
+from repro.runtime.ompss import OmpSsRuntime, TaskRecord
+from repro.runtime.ompt import OmptCapableRuntime, OmptEvent, OmptEventData, OmptTool
+from repro.runtime.openmp import DlbOmptTool, OpenMPRuntime, ParallelRegion
+from repro.runtime.process import ApplicationProcess, ProcessSpec, ThreadModel
+
+__all__ = [
+    "ApplicationProcess",
+    "ProcessSpec",
+    "ThreadModel",
+    "OpenMPRuntime",
+    "ParallelRegion",
+    "DlbOmptTool",
+    "OmpSsRuntime",
+    "TaskRecord",
+    "OmptCapableRuntime",
+    "OmptEvent",
+    "OmptEventData",
+    "OmptTool",
+    "MpiCommunicator",
+    "MpiRank",
+    "MpiCall",
+    "PmpiLayer",
+    "DlbPmpiInterceptor",
+]

@@ -1,0 +1,212 @@
+"""Simulated MPI layer with PMPI interception.
+
+DLB never changes the number of MPI processes — the paper is explicit that
+"MPI processes are never decreased or increased, nor any program data is ever
+moved between processes".  What DLB needs from MPI is the **PMPI profiling
+interface**: the ability to run code before and after every MPI call, which
+gives DROM a dense set of polling points in hybrid applications.
+
+Accordingly this module models:
+
+* :class:`MpiCommunicator` / :class:`MpiRank` — the process structure of a
+  job (ranks, sizes, per-node placement), with lightweight in-process
+  collectives so examples and tests can exercise realistic call sequences;
+* :class:`PmpiLayer` — the interception mechanism: hooks registered for
+  *before* / *after* any MPI call;
+* :class:`DlbPmpiInterceptor` — DLB acting as a PMPI profiler that polls DROM
+  at every interception and forwards new masks to the shared-memory
+  programming-model runtime (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Callable
+
+from repro.core.dlb import DlbProcess
+from repro.core.errors import DlbError
+from repro.cpuset.mask import CpuSet
+
+
+class MpiCall(Enum):
+    """MPI entry points the interception layer distinguishes."""
+
+    INIT = auto()
+    FINALIZE = auto()
+    SEND = auto()
+    RECV = auto()
+    BARRIER = auto()
+    BCAST = auto()
+    REDUCE = auto()
+    ALLREDUCE = auto()
+    ALLTOALL = auto()
+    GATHER = auto()
+    WAIT = auto()
+
+
+PmpiHook = Callable[["MpiRank", MpiCall], None]
+
+
+class PmpiLayer:
+    """Registry of PMPI hooks shared by all ranks of a communicator."""
+
+    def __init__(self) -> None:
+        self._before: list[PmpiHook] = []
+        self._after: list[PmpiHook] = []
+        self.intercepted_calls = 0
+
+    def register(self, before: PmpiHook | None = None, after: PmpiHook | None = None) -> None:
+        if before is not None:
+            self._before.append(before)
+        if after is not None:
+            self._after.append(after)
+
+    def run_before(self, rank: "MpiRank", call: MpiCall) -> None:
+        self.intercepted_calls += 1
+        for hook in self._before:
+            hook(rank, call)
+
+    def run_after(self, rank: "MpiRank", call: MpiCall) -> None:
+        for hook in self._after:
+            hook(rank, call)
+
+
+@dataclass
+class MpiCommunicator:
+    """A communicator: an ordered set of ranks belonging to one job."""
+
+    size: int
+    job_id: int = 0
+    pmpi: PmpiLayer = field(default_factory=PmpiLayer)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("communicator size must be positive")
+        self._ranks: list[MpiRank] = [
+            MpiRank(rank=i, comm=self) for i in range(self.size)
+        ]
+        self._mailboxes: dict[tuple[int, int, int], list[Any]] = {}
+
+    def rank(self, index: int) -> "MpiRank":
+        return self._ranks[index]
+
+    def ranks(self) -> list["MpiRank"]:
+        return list(self._ranks)
+
+    # -- in-process message matching (used by the point-to-point model) ------
+
+    def _post(self, src: int, dest: int, tag: int, payload: Any) -> None:
+        self._mailboxes.setdefault((src, dest, tag), []).append(payload)
+
+    def _take(self, src: int, dest: int, tag: int) -> Any:
+        queue = self._mailboxes.get((src, dest, tag))
+        if not queue:
+            raise RuntimeError(
+                f"MPI_Recv from rank {src} tag {tag}: no matching message posted "
+                "(the simulated MPI matches eagerly; send before receiving)"
+            )
+        return queue.pop(0)
+
+
+@dataclass
+class MpiRank:
+    """One MPI process of a communicator."""
+
+    rank: int
+    comm: MpiCommunicator
+    calls_made: int = 0
+
+    # -- wrapped MPI calls (all run the PMPI hooks) ---------------------------
+
+    def _wrap(self, call: MpiCall) -> "_InterceptedCall":
+        return _InterceptedCall(self, call)
+
+    def init(self) -> None:
+        with self._wrap(MpiCall.INIT):
+            pass
+
+    def finalize(self) -> None:
+        with self._wrap(MpiCall.FINALIZE):
+            pass
+
+    def barrier(self) -> None:
+        with self._wrap(MpiCall.BARRIER):
+            pass
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        with self._wrap(MpiCall.SEND):
+            self.comm._post(self.rank, dest, tag, payload)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        with self._wrap(MpiCall.RECV):
+            return self.comm._take(source, self.rank, tag)
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        with self._wrap(MpiCall.BCAST):
+            return payload
+
+    def allreduce(self, value: float, op: Callable[[float, float], float] = lambda a, b: a + b) -> float:
+        with self._wrap(MpiCall.ALLREDUCE):
+            # The in-process model has no cross-rank state here; reductions in
+            # the app models are computed by the driver.  Returning the local
+            # value keeps the call usable as a pure polling point.
+            return value
+
+    def wait(self) -> None:
+        with self._wrap(MpiCall.WAIT):
+            pass
+
+
+class _InterceptedCall:
+    """Context manager running the PMPI before/after hooks around a call."""
+
+    def __init__(self, rank: MpiRank, call: MpiCall) -> None:
+        self._rank = rank
+        self._call = call
+
+    def __enter__(self) -> None:
+        self._rank.calls_made += 1
+        self._rank.comm.pmpi.run_before(self._rank, self._call)
+
+    def __exit__(self, *exc: object) -> None:
+        self._rank.comm.pmpi.run_after(self._rank, self._call)
+
+
+class DlbPmpiInterceptor:
+    """DLB's PMPI profiler: polls DROM around every MPI call of one rank.
+
+    Parameters
+    ----------
+    dlb:
+        The process-side DLB handle of this rank's process.
+    apply_mask:
+        Callback that forwards a freshly polled mask to the shared-memory
+        runtime (e.g. ``OpenMPRuntime.apply_mask``); without a shared-memory
+        programming model DROM cannot change anything, so the callback is
+        mandatory.
+    """
+
+    def __init__(self, dlb: DlbProcess, apply_mask: Callable[[CpuSet], None]) -> None:
+        self._dlb = dlb
+        self._apply_mask = apply_mask
+        self.updates_applied = 0
+
+    def install(self, comm: MpiCommunicator, rank_index: int) -> None:
+        """Register the interceptor for one rank of ``comm``."""
+
+        def before(rank: MpiRank, _call: MpiCall) -> None:
+            if rank.rank != rank_index:
+                return
+            self.poll()
+
+        comm.pmpi.register(before=before)
+
+    def poll(self) -> bool:
+        """One DROM poll; applies the mask if an update is pending."""
+        code, _ncpus, mask = self._dlb.poll_drom()
+        if code is DlbError.DLB_SUCCESS and mask is not None:
+            self._apply_mask(mask)
+            self.updates_applied += 1
+            return True
+        return False

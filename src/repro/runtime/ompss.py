@@ -1,0 +1,117 @@
+"""Simulated OmpSs (Nanos) runtime with native DLB support.
+
+OmpSs is a task-based programming model: work is decomposed into tasks that a
+pool of worker threads executes.  Unlike OpenMP's fork-join regions, the
+worker pool can grow or shrink *between any two tasks*, which makes OmpSs
+applications malleable at a much finer grain — the runtime simply stops (or
+starts) pulling work on a CPU.
+
+The paper's Pils benchmark is MPI+OmpSs and relies on this native DLB support:
+the runtime itself polls DROM at task-scheduling points (no OMPT, no
+recompilation, just an execution-time option).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.dlb import DlbProcess
+from repro.core.errors import DlbError
+from repro.cpuset.mask import CpuSet
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """A task executed by the pool, recorded for inspection/tests."""
+
+    index: int
+    worker_cpu: int
+    team_size: int
+
+
+class OmpSsRuntime:
+    """Worker-pool model of the Nanos/OmpSs runtime.
+
+    Parameters
+    ----------
+    mask:
+        Initial CPU mask; one worker per CPU.
+    dlb:
+        Optional process-side DLB handle.  When given (``--enable-dlb`` in the
+        real runtime) the pool polls DROM before scheduling each task batch.
+    """
+
+    def __init__(self, mask: CpuSet, dlb: DlbProcess | None = None) -> None:
+        if mask.is_empty():
+            raise ValueError("OmpSs runtime needs a non-empty CPU mask")
+        self._mask = mask
+        self._dlb = dlb
+        self._tasks: list[TaskRecord] = []
+        self._rr_cursor = 0
+        #: Hook invoked after a DROM update is applied (``callback(mask)``).
+        self.on_update: Callable[[CpuSet], None] | None = None
+        self.updates_applied = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def mask(self) -> CpuSet:
+        return self._mask
+
+    @property
+    def num_workers(self) -> int:
+        return self._mask.count()
+
+    def tasks(self) -> list[TaskRecord]:
+        return list(self._tasks)
+
+    # -- malleability -----------------------------------------------------------
+
+    def apply_mask(self, mask: CpuSet) -> None:
+        """Resize the worker pool immediately (tasks are the natural boundary)."""
+        if mask.is_empty():
+            raise ValueError("cannot apply an empty mask")
+        self._mask = mask
+        self._rr_cursor = 0
+
+    def poll_malleability(self) -> bool:
+        """Poll DROM (if DLB is enabled) and resize the pool.
+
+        Called by the runtime at task-scheduling points.  Returns True when a
+        new mask was applied.
+        """
+        if self._dlb is None:
+            return False
+        code, _ncpus, mask = self._dlb.poll_drom()
+        if code is DlbError.DLB_SUCCESS and mask is not None:
+            self.apply_mask(mask)
+            self.updates_applied += 1
+            if self.on_update is not None:
+                self.on_update(mask)
+            return True
+        return False
+
+    # -- task execution -----------------------------------------------------------
+
+    def run_tasks(self, ntasks: int) -> list[TaskRecord]:
+        """Schedule ``ntasks`` tasks round-robin over the current workers.
+
+        DROM is polled once per batch (the scheduling point), mirroring the
+        Nanos integration where the poll happens when the scheduler looks for
+        ready work.
+        """
+        if ntasks < 0:
+            raise ValueError("ntasks must be non-negative")
+        self.poll_malleability()
+        executed: list[TaskRecord] = []
+        cpus = list(self._mask)
+        for _ in range(ntasks):
+            cpu = cpus[self._rr_cursor % len(cpus)]
+            self._rr_cursor += 1
+            record = TaskRecord(
+                index=len(self._tasks), worker_cpu=cpu, team_size=len(cpus)
+            )
+            self._tasks.append(record)
+            executed.append(record)
+        return executed

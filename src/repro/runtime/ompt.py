@@ -1,0 +1,101 @@
+"""OMPT — the OpenMP tool interface used by DLB to hook the runtime.
+
+The paper integrates DROM with OpenMP exclusively through OMPT (OpenMP
+Technical Report 4): when the runtime starts it offers tool registration, the
+DLB library registers callbacks for parallel-region and implicit-task events,
+and those callbacks are where DROM polling happens — so an unmodified,
+non-recompiled OpenMP application becomes malleable just by pre-loading DLB.
+
+This module reproduces the slice of OMPT that matters for DROM: tool
+registration and the ``parallel_begin`` / ``parallel_end`` /
+``implicit_task`` callback set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Callable, Protocol
+
+
+class OmptEvent(Enum):
+    """Callback points exposed to tools."""
+
+    PARALLEL_BEGIN = auto()
+    PARALLEL_END = auto()
+    IMPLICIT_TASK_BEGIN = auto()
+    IMPLICIT_TASK_END = auto()
+    THREAD_BEGIN = auto()
+    THREAD_END = auto()
+
+
+OmptCallback = Callable[["OmptEventData"], None]
+
+
+@dataclass(frozen=True)
+class OmptEventData:
+    """Payload handed to OMPT callbacks."""
+
+    event: OmptEvent
+    #: Number of threads requested/used by the construct, where applicable.
+    team_size: int = 0
+    #: Thread number for implicit-task / thread events.
+    thread_num: int = 0
+    #: Free-form extra data (the runtime passes its own handle here).
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class OmptTool(Protocol):
+    """A tool that wants to monitor an OpenMP runtime (DLB implements this)."""
+
+    def initialize(self, runtime: "OmptCapableRuntime") -> None:
+        """Called once when the runtime loads the tool."""
+
+    def finalize(self) -> None:
+        """Called when the runtime shuts down."""
+
+
+class OmptCapableRuntime:
+    """Mixin implementing the tool-registration half of OMPT.
+
+    An OpenMP runtime that inherits from this can ``register_tool`` /
+    ``set_callback``, and its internals call ``dispatch`` at the relevant
+    construct boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._tool: OmptTool | None = None
+        self._callbacks: dict[OmptEvent, list[OmptCallback]] = {}
+        self._tool_finalized = False
+
+    # -- tool side ------------------------------------------------------------
+
+    def register_tool(self, tool: OmptTool) -> None:
+        """Attach a monitoring tool (at most one, like the OMPT ``tool_data``)."""
+        if self._tool is not None:
+            raise RuntimeError("an OMPT tool is already registered with this runtime")
+        self._tool = tool
+        self._tool_finalized = False
+        tool.initialize(self)
+
+    def unregister_tool(self) -> None:
+        if self._tool is not None and not self._tool_finalized:
+            self._tool.finalize()
+            self._tool_finalized = True
+        self._tool = None
+        self._callbacks.clear()
+
+    def set_callback(self, event: OmptEvent, callback: OmptCallback) -> None:
+        """Register a callback for ``event`` (``ompt_set_callback``)."""
+        self._callbacks.setdefault(event, []).append(callback)
+
+    @property
+    def has_tool(self) -> bool:
+        return self._tool is not None
+
+    # -- runtime side ------------------------------------------------------------
+
+    def dispatch(self, data: OmptEventData) -> None:
+        """Invoke every callback registered for ``data.event``."""
+        for callback in self._callbacks.get(data.event, ()):
+            callback(data)

@@ -1,0 +1,247 @@
+"""Simulated OpenMP runtime with OMPT support and DLB integration.
+
+The model keeps exactly the state DROM interacts with:
+
+* ``max_threads`` (the value ``omp_set_num_threads`` controls);
+* the *team* of the currently open parallel region — OpenMP cannot change the
+  team size in the middle of a region, so mask changes delivered while a
+  region is open take effect at the **next** parallel construct (this is the
+  "acceptable, non-immediate malleability" the paper discusses in 3.1);
+* thread→CPU pinning, rebound whenever the mask changes so co-allocated jobs
+  never oversubscribe CPUs.
+
+Two integration paths are provided, matching Sections 4.1 and 4.4:
+
+* :class:`DlbOmptTool` — the transparent path: DLB registers as an OMPT tool
+  and polls DROM at every ``parallel_begin``;
+* the manual path — the application owns a :class:`~repro.core.dlb.DlbProcess`
+  and calls :meth:`OpenMPRuntime.set_num_threads` itself (Listing 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.dlb import DlbProcess
+from repro.core.errors import DlbError
+from repro.cpuset.mask import CpuSet
+from repro.runtime.ompt import (
+    OmptCapableRuntime,
+    OmptEvent,
+    OmptEventData,
+    OmptTool,
+)
+
+
+@dataclass(frozen=True)
+class ParallelRegion:
+    """A closed parallel region, recorded for inspection/tests."""
+
+    index: int
+    team_size: int
+    pinning: tuple[tuple[int, int], ...]  # (thread_num, cpu) pairs
+
+
+class OpenMPRuntime(OmptCapableRuntime):
+    """Thread-team model of an OpenMP runtime bound to one process.
+
+    Parameters
+    ----------
+    mask:
+        Initial CPU mask of the process; the team size defaults to its width.
+    bind_threads:
+        Whether threads are pinned to CPUs (``OMP_PROC_BIND=true``), which is
+        how the paper's experiments run.
+    """
+
+    def __init__(self, mask: CpuSet, bind_threads: bool = True) -> None:
+        super().__init__()
+        if mask.is_empty():
+            raise ValueError("OpenMP runtime needs a non-empty CPU mask")
+        self._mask = mask
+        self._max_threads = mask.count()
+        self._bind_threads = bind_threads
+        self._in_parallel = False
+        self._current_team = 0
+        self._pinning: dict[int, int] = {}
+        self._regions: list[ParallelRegion] = []
+        self._pending_mask: CpuSet | None = None
+        self._rebind()
+
+    # -- standard OpenMP-ish API ------------------------------------------------
+
+    @property
+    def max_threads(self) -> int:
+        """``omp_get_max_threads()``."""
+        return self._max_threads
+
+    @property
+    def mask(self) -> CpuSet:
+        """The CPU mask the runtime is currently pinning threads to."""
+        return self._mask
+
+    @property
+    def in_parallel(self) -> bool:
+        """``omp_in_parallel()``."""
+        return self._in_parallel
+
+    @property
+    def current_team_size(self) -> int:
+        return self._current_team
+
+    def set_num_threads(self, n: int) -> None:
+        """``omp_set_num_threads`` — takes effect at the next parallel region."""
+        if n <= 0:
+            raise ValueError("number of threads must be positive")
+        self._max_threads = n
+
+    def pinning(self) -> dict[int, int]:
+        """Current thread→CPU binding (thread number → CPU id)."""
+        return dict(self._pinning)
+
+    def regions(self) -> list[ParallelRegion]:
+        """All closed parallel regions, oldest first."""
+        return list(self._regions)
+
+    # -- malleability -------------------------------------------------------------
+
+    def apply_mask(self, mask: CpuSet) -> bool:
+        """Adopt a new CPU mask (what DLB does after a successful poll).
+
+        If a parallel region is open the change is deferred to the region end
+        (OpenMP cannot resize an open team); otherwise it is applied
+        immediately.  Returns True if applied now, False if deferred.
+        """
+        if mask.is_empty():
+            raise ValueError("cannot apply an empty mask")
+        if self._in_parallel:
+            self._pending_mask = mask
+            return False
+        self._do_apply(mask)
+        return True
+
+    def _do_apply(self, mask: CpuSet) -> None:
+        self._mask = mask
+        self._max_threads = mask.count()
+        self._rebind()
+
+    def _rebind(self) -> None:
+        if not self._bind_threads:
+            self._pinning = {}
+            return
+        cpus = list(self._mask)
+        self._pinning = {i: cpus[i % len(cpus)] for i in range(self._max_threads)}
+
+    # -- parallel construct ----------------------------------------------------------
+
+    def parallel_region(self, num_threads: int | None = None) -> "_OpenRegion":
+        """Open a parallel region (context manager).
+
+        OMPT ``parallel_begin`` fires before the team is formed — this is the
+        hook DLB uses to poll DROM, so a mask update delivered there already
+        shapes this region's team.
+        """
+        return _OpenRegion(self, num_threads)
+
+    def _begin_region(self, num_threads: int | None) -> int:
+        if self._in_parallel:
+            raise RuntimeError("nested parallel regions are not modelled")
+        self.dispatch(
+            OmptEventData(
+                event=OmptEvent.PARALLEL_BEGIN,
+                team_size=num_threads or self._max_threads,
+            )
+        )
+        # A mask update may have arrived from the PARALLEL_BEGIN callback.
+        team = min(num_threads or self._max_threads, self._max_threads)
+        team = max(team, 1)
+        self._in_parallel = True
+        self._current_team = team
+        for thread_num in range(team):
+            self.dispatch(
+                OmptEventData(
+                    event=OmptEvent.IMPLICIT_TASK_BEGIN,
+                    team_size=team,
+                    thread_num=thread_num,
+                )
+            )
+        return team
+
+    def _end_region(self) -> None:
+        team = self._current_team
+        for thread_num in range(team):
+            self.dispatch(
+                OmptEventData(
+                    event=OmptEvent.IMPLICIT_TASK_END,
+                    team_size=team,
+                    thread_num=thread_num,
+                )
+            )
+        pinning = tuple(
+            (t, self._pinning.get(t, -1)) for t in range(team)
+        )
+        self._regions.append(
+            ParallelRegion(index=len(self._regions), team_size=team, pinning=pinning)
+        )
+        self._in_parallel = False
+        self._current_team = 0
+        self.dispatch(OmptEventData(event=OmptEvent.PARALLEL_END, team_size=team))
+        if self._pending_mask is not None:
+            pending, self._pending_mask = self._pending_mask, None
+            self._do_apply(pending)
+
+
+class _OpenRegion:
+    """Context manager produced by :meth:`OpenMPRuntime.parallel_region`."""
+
+    def __init__(self, runtime: OpenMPRuntime, num_threads: int | None) -> None:
+        self._runtime = runtime
+        self._num_threads = num_threads
+        self.team_size = 0
+
+    def __enter__(self) -> "_OpenRegion":
+        self.team_size = self._runtime._begin_region(self._num_threads)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._runtime._end_region()
+
+
+class DlbOmptTool(OmptTool):
+    """DLB registered as an OMPT tool (the transparent OpenMP integration).
+
+    On every ``parallel_begin`` the tool polls DROM through the process's
+    :class:`DlbProcess` handle; if a new mask is pending it adjusts the thread
+    count and rebinds threads before the team is formed.  No application
+    change, no recompilation — only the runtime must support OMPT.
+    """
+
+    def __init__(self, dlb: DlbProcess) -> None:
+        self._dlb = dlb
+        self._runtime: OpenMPRuntime | None = None
+        #: Number of mask updates applied through this tool.
+        self.updates_applied = 0
+        #: Optional hook invoked after a mask update is applied
+        #: (``callback(new_mask)``) — used by the app models to adjust timing.
+        self.on_update: Callable[[CpuSet], None] | None = None
+
+    def initialize(self, runtime: OmptCapableRuntime) -> None:
+        if not isinstance(runtime, OpenMPRuntime):
+            raise TypeError("DlbOmptTool requires an OpenMPRuntime")
+        self._runtime = runtime
+        runtime.set_callback(OmptEvent.PARALLEL_BEGIN, self._on_parallel_begin)
+
+    def finalize(self) -> None:
+        self._runtime = None
+
+    def _on_parallel_begin(self, _data: OmptEventData) -> None:
+        if self._runtime is None:
+            return
+        code, ncpus, mask = self._dlb.poll_drom()
+        if code is DlbError.DLB_SUCCESS and mask is not None:
+            self._runtime.set_num_threads(ncpus)
+            self._runtime.apply_mask(mask)
+            self.updates_applied += 1
+            if self.on_update is not None:
+                self.on_update(mask)

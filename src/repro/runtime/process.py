@@ -1,0 +1,183 @@
+"""Application-process abstraction used by the workload models.
+
+One :class:`ApplicationProcess` corresponds to one MPI rank of a job running
+on one node: it owns
+
+* a process-side DLB handle (:class:`~repro.core.dlb.DlbProcess`),
+* a shared-memory programming-model runtime (OpenMP or OmpSs) that actually
+  reacts to mask changes,
+* optionally an MPI rank with the DLB PMPI interceptor installed.
+
+The application models in :mod:`repro.apps` drive these objects: every
+iteration they hit a malleability point (a PMPI interception, an OMPT
+parallel-begin, or a manual ``DLB_PollDROM``), so a mask written by the SLURM
+plugin is picked up within one iteration — the same latency the paper's
+polling mechanism has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable
+
+from repro.core.dlb import DlbProcess
+from repro.core.errors import DlbError
+from repro.core.shmem import NodeSharedMemory
+from repro.cpuset.mask import CpuSet
+from repro.runtime.mpi import DlbPmpiInterceptor, MpiCommunicator
+from repro.runtime.ompss import OmpSsRuntime
+from repro.runtime.openmp import DlbOmptTool, OpenMPRuntime
+
+
+class ThreadModel(Enum):
+    """Which shared-memory programming model the process runs."""
+
+    OPENMP = auto()
+    OMPSS = auto()
+    #: No shared-memory model: the process can be registered with DLB but its
+    #: thread count cannot change (a non-malleable process).
+    NONE = auto()
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Static description of one application process."""
+
+    pid: int
+    node: str
+    mpi_rank: int
+    thread_model: ThreadModel
+    initial_mask: CpuSet
+
+
+class ApplicationProcess:
+    """A running MPI rank with DLB/DROM support on one node."""
+
+    def __init__(
+        self,
+        spec: ProcessSpec,
+        shmem: NodeSharedMemory,
+        comm: MpiCommunicator | None = None,
+        environ: dict[str, str] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.shmem = shmem
+        self.dlb = DlbProcess(
+            pid=spec.pid, shmem=shmem, mask=spec.initial_mask, environ=environ or {}
+        )
+        self.comm = comm
+        self.openmp: OpenMPRuntime | None = None
+        self.ompss: OmpSsRuntime | None = None
+        self._ompt_tool: DlbOmptTool | None = None
+        self._pmpi: DlbPmpiInterceptor | None = None
+        self._mask_listeners: list[Callable[[CpuSet], None]] = []
+        self._started = False
+        self._finished = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Register with DLB and build the programming-model runtime."""
+        if self._started:
+            raise RuntimeError(f"process {self.spec.pid} already started")
+        code = self.dlb.init()
+        if code.is_error():
+            raise RuntimeError(f"DLB_Init failed for pid {self.spec.pid}: {code.name}")
+        mask = self.dlb.current_mask()
+
+        if self.spec.thread_model is ThreadModel.OPENMP:
+            self.openmp = OpenMPRuntime(mask)
+            self._ompt_tool = DlbOmptTool(self.dlb)
+            self._ompt_tool.on_update = self._notify_mask
+            self.openmp.register_tool(self._ompt_tool)
+        elif self.spec.thread_model is ThreadModel.OMPSS:
+            self.ompss = OmpSsRuntime(mask, dlb=self.dlb)
+            self.ompss.on_update = self._notify_mask
+
+        if self.comm is not None and self.spec.thread_model is not ThreadModel.NONE:
+            self._pmpi = DlbPmpiInterceptor(self.dlb, self._apply_mask)
+            self._pmpi.install(self.comm, self.spec.mpi_rank)
+
+        self._started = True
+
+    def finish(self) -> None:
+        """Unregister from DLB (application exit)."""
+        if not self._started or self._finished:
+            return
+        if self.openmp is not None:
+            self.openmp.unregister_tool()
+        self.dlb.finalize()
+        self._finished = True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- masks and threads -----------------------------------------------------------
+
+    @property
+    def current_mask(self) -> CpuSet:
+        """Mask the process is currently *using* (runtime view)."""
+        if self.openmp is not None:
+            return self.openmp.mask
+        if self.ompss is not None:
+            return self.ompss.mask
+        return self.dlb.current_mask() if self.dlb.initialized else self.spec.initial_mask
+
+    @property
+    def num_threads(self) -> int:
+        """Current size of the shared-memory worker team."""
+        return self.current_mask.count()
+
+    def on_mask_change(self, callback: Callable[[CpuSet], None]) -> None:
+        """Register a listener fired whenever the runtime adopts a new mask."""
+        self._mask_listeners.append(callback)
+
+    def _notify_mask(self, mask: CpuSet) -> None:
+        for listener in self._mask_listeners:
+            listener(mask)
+
+    def _apply_mask(self, mask: CpuSet) -> None:
+        if self.openmp is not None:
+            self.openmp.set_num_threads(mask.count())
+            self.openmp.apply_mask(mask)
+        elif self.ompss is not None:
+            self.ompss.apply_mask(mask)
+        self._notify_mask(mask)
+
+    # -- malleability points -------------------------------------------------------------
+
+    def poll_malleability(self) -> bool:
+        """Hit one malleability point: poll DROM and react.
+
+        This is what an application iteration does — through PMPI, OMPT or the
+        manual API depending on the integration.  Returns True when a new mask
+        was adopted.
+        """
+        if not self._started:
+            raise RuntimeError("process not started")
+        if self.spec.thread_model is ThreadModel.NONE:
+            # Non-malleable process: it may poll but cannot react.
+            code, _n, _mask = self.dlb.poll_drom()
+            return False
+        code, _ncpus, mask = self.dlb.poll_drom()
+        if code is DlbError.DLB_SUCCESS and mask is not None:
+            self._apply_mask(mask)
+            return True
+        return False
+
+    def enter_parallel_region(self) -> int:
+        """Convenience for OpenMP processes: open+close one parallel region.
+
+        Returns the team size used (after any DROM update applied at the OMPT
+        parallel-begin callback).
+        """
+        if self.openmp is None:
+            raise RuntimeError("process does not run OpenMP")
+        with self.openmp.parallel_region() as region:
+            return region.team_size

@@ -1,0 +1,289 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(time, priority, seq, action)`` entries
+and a virtual clock.  Two kinds of actions are supported:
+
+* plain callbacks scheduled with :meth:`SimulationEngine.call_at` /
+  :meth:`SimulationEngine.call_after` / :meth:`SimulationEngine.call_every`;
+* generator-based *processes* spawned with :meth:`SimulationEngine.spawn`.
+  A process yields :class:`Timeout` objects (or bare ``float`` delays) to
+  advance the clock, another :class:`SimProcess` to join it, or a list of
+  processes to join them all.
+
+Determinism: ties in time are broken by an explicit priority and then by a
+monotonically increasing sequence number, so two runs of the same scenario
+produce identical event orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the engine (e.g. time travel)."""
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("Timeout delay must be non-negative")
+
+
+class ProcessExit(Exception):
+    """Raised by a process body to terminate itself early with a value."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class SimProcess:
+    """Handle of a spawned process.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (shows up in error messages and traces).
+    finished:
+        Whether the generator has run to completion (or was killed).
+    value:
+        Return value of the generator (``StopIteration.value``), or the value
+        passed to :meth:`kill`.
+    """
+
+    def __init__(self, engine: "SimulationEngine", name: str, gen: ProcessGenerator) -> None:
+        self._engine = engine
+        self.name = name
+        self._gen = gen
+        self.finished = False
+        self.value: Any = None
+        self.started_at = engine.now
+        self.finished_at: float | None = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"SimProcess({self.name!r}, {state})"
+
+    def on_finish(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` to run when the process finishes.
+
+        If the process has already finished the callback runs immediately.
+        """
+        if self.finished:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+    def kill(self, value: Any = None) -> None:
+        """Terminate the process at the current simulated time."""
+        if self.finished:
+            return
+        self.value = value
+        self._finish()
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.finished_at = self._engine.now
+        self._gen.close()
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self.value)
+
+
+class SimulationEngine:
+    """The event loop.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> out = []
+    >>> def worker(engine, label):
+    ...     yield Timeout(1.0)
+    ...     out.append((engine.now, label))
+    >>> _ = engine.spawn(worker(engine, "a"), name="a")
+    >>> _ = engine.spawn(worker(engine, "b"), name="b")
+    >>> engine.run()
+    1.0
+    >>> out
+    [(1.0, 'a'), (1.0, 'b')]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: list[SimProcess] = []
+        self._running = False
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling callbacks ----------------------------------------------
+
+    def call_at(
+        self, time: float, callback: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is t={self._now}"
+            )
+        heapq.heappush(
+            self._queue,
+            (max(time, self._now), priority, self._seq, lambda: callback(*args)),
+        )
+        self._seq += 1
+
+    def call_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        self.call_at(self._now + delay, callback, *args, priority=priority)
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        until: float | None = None,
+        priority: int = 0,
+    ) -> None:
+        """Run ``callback(*args)`` every ``interval`` seconds.
+
+        The first invocation happens one interval from now; invocations stop
+        once the clock passes ``until`` (if given) or the queue drains.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+
+        def tick() -> None:
+            if until is not None and self._now > until:
+                return
+            callback(*args)
+            self.call_after(interval, tick, priority=priority)
+
+        self.call_after(interval, tick, priority=priority)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: ProcessGenerator, name: str | None = None) -> SimProcess:
+        """Register a generator as a process starting at the current time."""
+        process = SimProcess(self, name or f"proc-{len(self._processes)}", gen)
+        self._processes.append(process)
+        # Start the process as an immediate event so spawn order == start order.
+        self.call_at(self._now, self._step, process, None)
+        return process
+
+    def processes(self) -> list[SimProcess]:
+        return list(self._processes)
+
+    def _resume(self, process: SimProcess, value: Any) -> None:
+        self.call_at(self._now, self._step, process, value)
+
+    def _step(self, process: SimProcess, send_value: Any) -> None:
+        if process.finished:
+            return
+        try:
+            yielded = process._gen.send(send_value)
+        except StopIteration as stop:
+            process.value = stop.value
+            process._finish()
+            return
+        except ProcessExit as exit_:
+            process.value = exit_.value
+            process._finish()
+            return
+        self._handle_yield(process, yielded)
+
+    def _handle_yield(self, process: SimProcess, yielded: Any) -> None:
+        if yielded is None:
+            # Cooperative reschedule at the same instant (after pending events).
+            self.call_at(self._now, self._step, process, None)
+        elif isinstance(yielded, Timeout):
+            self.call_after(yielded.delay, self._step, process, None)
+        elif isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {process.name!r} yielded a negative delay ({yielded})"
+                )
+            self.call_after(float(yielded), self._step, process, None)
+        elif isinstance(yielded, SimProcess):
+            yielded.on_finish(lambda value: self._resume(process, value))
+        elif isinstance(yielded, (list, tuple)) and all(
+            isinstance(p, SimProcess) for p in yielded
+        ):
+            self._wait_all(process, list(yielded))
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded an unsupported value: {yielded!r}"
+            )
+
+    def _wait_all(self, waiter: SimProcess, targets: list[SimProcess]) -> None:
+        remaining = {id(p) for p in targets if not p.finished}
+        if not remaining:
+            self._resume(waiter, [p.value for p in targets])
+            return
+
+        def make_callback(target: SimProcess) -> Callable[[Any], None]:
+            def on_done(_value: Any) -> None:
+                remaining.discard(id(target))
+                if not remaining:
+                    self._resume(waiter, [p.value for p in targets])
+
+            return on_done
+
+        for target in targets:
+            if not target.finished:
+                target.on_finish(make_callback(target))
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains or the clock reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._queue:
+                time, _priority, _seq, action = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if time > self._now:
+                    self._now = time
+                action()
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)

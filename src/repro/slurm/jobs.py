@@ -1,0 +1,162 @@
+"""Job descriptions and lifecycle state.
+
+A *job* is what a user submits: a request for a number of nodes, a number of
+tasks (MPI ranks) and CPUs per task, plus the application to run.  The states
+and timestamps tracked here are what the paper's system metrics are computed
+from: response time = (start - submit) + run time, total workload run time =
+last job end - first job submission.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Optional
+
+
+class JobState(Enum):
+    """SLURM-like job lifecycle."""
+
+    PENDING = auto()
+    CONFIGURING = auto()
+    RUNNING = auto()
+    COMPLETED = auto()
+    CANCELLED = auto()
+    FAILED = auto()
+
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of a submitted job.
+
+    Parameters
+    ----------
+    name:
+        Human-readable job name (e.g. ``"NEST Conf. 1"``).
+    nodes:
+        Number of nodes requested.
+    ntasks:
+        Total number of tasks (MPI ranks); they are distributed round-robin
+        over the allocated nodes.
+    cpus_per_task:
+        CPUs requested per task (the OpenMP/OmpSs threads per rank).
+    application:
+        Opaque handle describing what the tasks execute — the workload runner
+        stores an application-model factory here.  The SLURM layer never looks
+        inside it.
+    malleable:
+        Whether the job registers with DLB and accepts DROM mask changes.
+        Non-malleable jobs are placed only on CPUs nobody else uses.
+    priority:
+        Larger values are scheduled first among pending jobs (use case 2's
+        high-priority job).
+    """
+
+    name: str
+    nodes: int
+    ntasks: int
+    cpus_per_task: int
+    application: Any = None
+    malleable: bool = True
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("a job must request at least one node")
+        if self.ntasks <= 0:
+            raise ValueError("a job must have at least one task")
+        if self.cpus_per_task <= 0:
+            raise ValueError("cpus_per_task must be positive")
+        if self.ntasks % self.nodes != 0:
+            raise ValueError(
+                "ntasks must be divisible by nodes (block distribution of ranks)"
+            )
+
+    @property
+    def tasks_per_node(self) -> int:
+        return self.ntasks // self.nodes
+
+    @property
+    def cpus_per_node(self) -> int:
+        """CPUs the job requests on each node."""
+        return self.tasks_per_node * self.cpus_per_task
+
+
+_job_ids = itertools.count(1)
+
+
+def _next_job_id() -> int:
+    return next(_job_ids)
+
+
+@dataclass
+class Job:
+    """A submitted job with its lifecycle bookkeeping."""
+
+    spec: JobSpec
+    job_id: int = field(default_factory=_next_job_id)
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    #: Node names allocated to the job (set by the controller).
+    allocated_nodes: tuple[str, ...] = ()
+    #: Why the job is still pending (for inspection, mirrors squeue's REASON).
+    pending_reason: str = ""
+
+    # -- timestamps / metrics --------------------------------------------------
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent in the queue (start - submit)."""
+        if self.start_time is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float:
+        """Execution time (end - start)."""
+        if self.start_time is None or self.end_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.end_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        """Wait time plus run time — the paper's per-job metric."""
+        if self.end_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.end_time - self.submit_time
+
+    # -- state transitions ----------------------------------------------------------
+
+    def mark_submitted(self, time: float) -> None:
+        self.submit_time = time
+        self.state = JobState.PENDING
+
+    def mark_started(self, time: float, nodes: tuple[str, ...]) -> None:
+        if self.state is not JobState.PENDING and self.state is not JobState.CONFIGURING:
+            raise ValueError(f"job {self.job_id} cannot start from state {self.state.name}")
+        self.start_time = time
+        self.allocated_nodes = nodes
+        self.state = JobState.RUNNING
+        self.pending_reason = ""
+
+    def mark_completed(self, time: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"job {self.job_id} cannot complete from state {self.state.name}")
+        self.end_time = time
+        self.state = JobState.COMPLETED
+
+    def mark_cancelled(self, time: float) -> None:
+        self.end_time = time
+        self.state = JobState.CANCELLED
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id}, name={self.spec.name!r}, state={self.state.name}, "
+            f"submit={self.submit_time}, start={self.start_time}, end={self.end_time})"
+        )

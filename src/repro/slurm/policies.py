@@ -1,0 +1,90 @@
+"""DROM-aware node-selection policies for the controller.
+
+The paper's future work suggests that, combined with a job scheduler, DROM can
+support "new scheduling policies based on malleability … or at resource
+management level, by choosing as 'victim' nodes the ones with lower
+utilization".  This module provides that hook: a
+:class:`NodeSelectionPolicy` orders the candidate nodes slurmctld considers
+for a job, and the DROM statistics module (:mod:`repro.core.stats`) supplies
+the utilisation data the smarter policies need.
+
+Policies:
+
+* :class:`FirstFit` — the stock behaviour: nodes in configuration order.
+* :class:`LeastAllocatedFirst` — prefer nodes with the fewest allocated CPUs
+  (spreads co-allocation pressure).
+* :class:`LowestUtilisationFirst` — prefer nodes whose *measured* utilisation
+  is lowest, i.e. pick as victims the nodes whose current occupants make the
+  worst use of their CPUs.  Falls back to allocation counts for nodes without
+  statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping, Sequence
+
+from repro.slurm.slurmctld import NodeState
+
+#: Callback returning the measured utilisation of a node in [0, 1] (usually
+#: ``StatsModule.node_summary().utilisation`` of the node's slurmd), or None
+#: when no statistics are available yet.
+UtilisationProvider = Callable[[str], float | None]
+
+
+class NodeSelectionPolicy(ABC):
+    """Orders candidate nodes for a job (most preferred first)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def order(self, candidates: Sequence[NodeState]) -> list[NodeState]:
+        """Return the candidates in preference order (no filtering)."""
+
+
+class FirstFit(NodeSelectionPolicy):
+    """Configuration order — what the unmodified slurmctld does."""
+
+    name = "first-fit"
+
+    def order(self, candidates: Sequence[NodeState]) -> list[NodeState]:
+        return list(candidates)
+
+
+class LeastAllocatedFirst(NodeSelectionPolicy):
+    """Prefer nodes with the fewest allocated CPUs, then fewer tasks."""
+
+    name = "least-allocated"
+
+    def order(self, candidates: Sequence[NodeState]) -> list[NodeState]:
+        return sorted(
+            candidates, key=lambda s: (s.allocated_cpus, s.running_tasks, s.name)
+        )
+
+
+class LowestUtilisationFirst(NodeSelectionPolicy):
+    """Prefer the nodes whose occupants use their CPUs the least.
+
+    ``utilisation`` is supplied per node by a callback (wired to the DROM
+    statistics module by the caller).  Nodes without data sort by allocation,
+    after nodes with data — an idle or badly-utilised node is always a better
+    victim than an unknown one only if it actually reports low utilisation.
+    """
+
+    name = "lowest-utilisation"
+
+    def __init__(self, utilisation: UtilisationProvider | Mapping[str, float]) -> None:
+        if callable(utilisation):
+            self._lookup: UtilisationProvider = utilisation
+        else:
+            mapping = dict(utilisation)
+            self._lookup = lambda name: mapping.get(name)
+
+    def order(self, candidates: Sequence[NodeState]) -> list[NodeState]:
+        def key(state: NodeState):
+            value = self._lookup(state.name)
+            if value is None:
+                return (1, state.allocated_cpus, state.name)
+            return (0, value, state.name)
+
+        return sorted(candidates, key=key)

@@ -1,0 +1,217 @@
+"""slurmctld — the cluster controller.
+
+The controller keeps the pending-job queue and decides *which nodes* each job
+runs on.  The paper deliberately leaves slurmctld's scheduling policy
+unchanged ("the purpose is to give a proof of integration of DROM APIs, not to
+present new scheduling policies"), so the policy here is plain FCFS with
+priorities; the only DROM-specific addition is the co-allocation rule: a
+malleable job may be placed on nodes that are already busy with other
+malleable DROM jobs, as long as every task can still get at least one CPU
+(no oversubscription), because the task/affinity plugin will repartition the
+node CPUs among the co-allocated jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpuset.topology import ClusterTopology
+from repro.slurm.jobs import Job, JobSpec, JobState
+from repro.slurm.queue import JobQueue
+
+
+@dataclass
+class NodeState:
+    """Controller-side view of one node."""
+
+    name: str
+    ncpus: int
+    #: job_id -> (tasks on this node, cpus requested on this node, malleable)
+    running: dict[int, tuple[int, int, bool]] = field(default_factory=dict)
+
+    @property
+    def allocated_cpus(self) -> int:
+        return sum(cpus for _tasks, cpus, _m in self.running.values())
+
+    @property
+    def running_tasks(self) -> int:
+        return sum(tasks for tasks, _cpus, _m in self.running.values())
+
+    @property
+    def idle(self) -> bool:
+        return not self.running
+
+    def all_malleable(self) -> bool:
+        return all(m for _t, _c, m in self.running.values())
+
+
+@dataclass
+class SchedulingDecision:
+    """One job the controller decided to start, with its node list."""
+
+    job: Job
+    nodes: tuple[str, ...]
+    #: True when the job is being co-allocated with running jobs (DROM path).
+    co_allocated: bool
+
+
+class Slurmctld:
+    """Cluster controller.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware description of the managed partition.
+    drom_enabled:
+        Enables the co-allocation rule described above.
+    backfill:
+        When True, jobs behind a blocked job may start if they fit (simple
+        backfilling without reservations).  The paper's workloads only have
+        two jobs, so this mainly matters for the extended examples.
+    node_policy:
+        Optional :class:`~repro.slurm.policies.NodeSelectionPolicy` ordering
+        the candidate nodes of a job (the paper's future-work "choose as
+        victim the nodes with lower utilization").  ``None`` keeps the stock
+        configuration order.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterTopology,
+        drom_enabled: bool = True,
+        backfill: bool = False,
+        node_policy=None,
+    ) -> None:
+        self.cluster = cluster
+        self.drom_enabled = drom_enabled
+        self.backfill = backfill
+        self.node_policy = node_policy
+        self.queue = JobQueue()
+        self.nodes: dict[str, NodeState] = {
+            node.name: NodeState(name=node.name, ncpus=node.ncpus)
+            for node in cluster.nodes
+        }
+        self.jobs: dict[int, Job] = {}
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, time: float) -> Job:
+        """Submit a job at ``time``; it is queued pending scheduling."""
+        if spec.nodes > self.cluster.nnodes:
+            raise ValueError(
+                f"job {spec.name!r} requests {spec.nodes} nodes but the partition "
+                f"has only {self.cluster.nnodes}"
+            )
+        job = Job(spec=spec)
+        job.mark_submitted(time)
+        self.jobs[job.job_id] = job
+        self.queue.push(job)
+        return job
+
+    def cancel(self, job_id: int, time: float) -> Job:
+        job = self.jobs[job_id]
+        if job.state is JobState.PENDING:
+            self.queue.remove(job_id)
+        job.mark_cancelled(time)
+        return job
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def schedule(self, time: float) -> list[SchedulingDecision]:
+        """One scheduling pass: start every queued job that fits (FCFS).
+
+        Started jobs are marked RUNNING with ``time`` as their start time and
+        removed from the queue; the caller (the workload runner / srun) is
+        responsible for actually launching their tasks through slurmd.
+        """
+        decisions: list[SchedulingDecision] = []
+        blocked = False
+        skipped: list[Job] = []
+        while self.queue:
+            job = self.queue.pop()
+            if blocked and not self.backfill:
+                skipped.append(job)
+                continue
+            placement = self._select_nodes(job)
+            if placement is None:
+                job.pending_reason = "Resources"
+                skipped.append(job)
+                blocked = True
+                continue
+            nodes, co_allocated = placement
+            self._commit(job, nodes)
+            job.mark_started(time, nodes)
+            decisions.append(
+                SchedulingDecision(job=job, nodes=nodes, co_allocated=co_allocated)
+            )
+        for job in skipped:
+            self.queue.push(job)
+        return decisions
+
+    def _select_nodes(self, job: Job) -> tuple[tuple[str, ...], bool] | None:
+        """Pick nodes for ``job`` or return ``None`` if it cannot start now."""
+        spec = job.spec
+        ordered_states = self._ordered_nodes()
+
+        # First preference: exclusive placement on nodes with enough free CPUs
+        # (this is all stock SLURM can do).
+        free_nodes = [
+            state.name
+            for state in ordered_states
+            if state.ncpus - state.allocated_cpus >= spec.cpus_per_node
+        ]
+        if len(free_nodes) >= spec.nodes:
+            return tuple(free_nodes[: spec.nodes]), False
+
+        # DROM path: co-allocate with running malleable jobs.
+        if self.drom_enabled and spec.malleable:
+            candidates = []
+            for state in ordered_states:
+                fits_free = state.ncpus - state.allocated_cpus >= spec.cpus_per_node
+                fits_shared = (
+                    state.all_malleable()
+                    and state.running_tasks + spec.tasks_per_node <= state.ncpus
+                )
+                if fits_free or fits_shared:
+                    candidates.append(state.name)
+            if len(candidates) >= spec.nodes:
+                return tuple(candidates[: spec.nodes]), True
+        return None
+
+    def _ordered_nodes(self) -> list[NodeState]:
+        states = list(self.nodes.values())
+        if self.node_policy is None:
+            return states
+        return list(self.node_policy.order(states))
+
+    def _commit(self, job: Job, nodes: tuple[str, ...]) -> None:
+        for name in nodes:
+            self.nodes[name].running[job.job_id] = (
+                job.spec.tasks_per_node,
+                job.spec.cpus_per_node,
+                job.spec.malleable,
+            )
+
+    # -- completion ---------------------------------------------------------------------
+
+    def job_completed(self, job_id: int, time: float) -> Job:
+        """Mark a running job completed and free its controller-side resources."""
+        job = self.jobs[job_id]
+        job.mark_completed(time)
+        for state in self.nodes.values():
+            state.running.pop(job_id, None)
+        return job
+
+    # -- queries --------------------------------------------------------------------------
+
+    def pending_jobs(self) -> list[Job]:
+        return self.queue.jobs()
+
+    def running_jobs(self) -> list[Job]:
+        return [job for job in self.jobs.values() if job.state is JobState.RUNNING]
+
+    def completed_jobs(self) -> list[Job]:
+        return [job for job in self.jobs.values() if job.state is JobState.COMPLETED]
+
+    def all_done(self) -> bool:
+        return all(job.state.is_terminal() for job in self.jobs.values())

@@ -1,0 +1,308 @@
+"""The DROM-enabled ``task/affinity`` plugin.
+
+Section 5 of the paper confines the whole SLURM modification to the
+``task/affinity`` plugin, which is loaded by both slurmd and slurmstepd.  Its
+job is to decide which CPUs of a node each task of each job runs on and to
+apply that decision, through four entry points (numbers refer to Figure 2):
+
+* ``launch_request`` (1)  — called in slurmd when a new job step is to be
+  launched on the node.  It computes the CPU masks of the *new* job's tasks
+  and, when other DROM jobs already run on the node, recomputes the masks of
+  the *running* tasks too (equipartition, socket-aware).
+* ``pre_launch`` (2)      — called in slurmstepd just before the task is
+  execed.  It applies the computed mask using ``DROM_PreInit`` (2.1), which
+  also shrinks the running tasks' masks in the DLB shared memory.
+* ``post_term`` (4)       — called when a task ends; invokes
+  ``DROM_PostFinalize`` (4.1), optionally returning stolen CPUs.
+* ``release_resources`` (5) — called when a whole job ends; redistributes the
+  freed CPUs to the still-running tasks with ``DROM_GetPidList`` /
+  ``DROM_GetProcessMask`` / ``DROM_SetProcessMask`` (5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.drom import DromAdmin, PreInitResult
+from repro.core.errors import DlbError
+from repro.core.flags import DromFlags
+from repro.cpuset.distribution import (
+    DistributionPolicy,
+    JobShare,
+    SocketAwareEquipartition,
+    split_among_tasks,
+)
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import NodeTopology
+
+
+@dataclass
+class TaskPlacement:
+    """Mask decision for one task of one job on one node."""
+
+    job_id: int
+    task_index: int
+    mask: CpuSet
+    pid: int | None = None
+
+
+@dataclass
+class LaunchPlan:
+    """Outcome of ``launch_request``: placements for the new job and mask
+    updates for already running jobs."""
+
+    new_tasks: list[TaskPlacement] = field(default_factory=list)
+    #: job_id -> list of (pid, new mask) for tasks that must shrink/expand.
+    running_updates: dict[int, list[tuple[int, CpuSet]]] = field(default_factory=dict)
+
+
+@dataclass
+class _LocalJob:
+    """Per-node record of a job with tasks on this node."""
+
+    job_id: int
+    tasks: list[TaskPlacement]
+    requested_cpus: int
+    malleable: bool
+    #: Mask updates for already-running jobs computed by launch_request and
+    #: not yet pushed through DROM_SetProcessMask (applied at pre_launch).
+    pending_running_updates: dict[int, list[tuple[int, CpuSet]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ntasks(self) -> int:
+        return len(self.tasks)
+
+    def mask(self) -> CpuSet:
+        total = CpuSet.empty()
+        for task in self.tasks:
+            total = total | task.mask
+        return total
+
+
+class TaskAffinityPlugin:
+    """DROM-enabled CPU-placement plugin for one node.
+
+    Parameters
+    ----------
+    topology:
+        The node this plugin instance manages.
+    admin:
+        An attached DROM administrator on the node's shared memory.
+    policy:
+        Mask-distribution policy; defaults to the paper's socket-aware
+        equipartition.
+    drom_enabled:
+        With False the plugin behaves like stock SLURM: it only places tasks
+        on CPUs not used by any running job and never touches running jobs
+        (the Serial baseline).
+    """
+
+    def __init__(
+        self,
+        topology: NodeTopology,
+        admin: DromAdmin,
+        policy: DistributionPolicy | None = None,
+        drom_enabled: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.admin = admin
+        self.policy = policy or SocketAwareEquipartition()
+        self.drom_enabled = drom_enabled
+        self._jobs: dict[int, _LocalJob] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    def local_jobs(self) -> list[int]:
+        return list(self._jobs.keys())
+
+    def job_mask(self, job_id: int) -> CpuSet:
+        return self._jobs[job_id].mask()
+
+    def used_mask(self) -> CpuSet:
+        used = CpuSet.empty()
+        for job in self._jobs.values():
+            used = used | job.mask()
+        return used
+
+    def free_mask(self) -> CpuSet:
+        return self.topology.full_mask() - self.used_mask()
+
+    # -- (1) launch_request -------------------------------------------------------
+
+    def launch_request(
+        self,
+        job_id: int,
+        ntasks: int,
+        cpus_per_task: int,
+        malleable: bool = True,
+    ) -> LaunchPlan:
+        """Compute masks for a new job step arriving on this node."""
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id} already has tasks on node {self.topology.name}")
+        requested = ntasks * cpus_per_task
+
+        if not self.drom_enabled or not self._jobs:
+            return self._plan_on_free_cpus(job_id, ntasks, requested, malleable)
+
+        # DROM path with running jobs: recompute everyone's share.
+        shares = [
+            JobShare(
+                job_id=jid,
+                ntasks=job.ntasks,
+                requested_cpus=job.requested_cpus,
+            )
+            for jid, job in self._jobs.items()
+        ]
+        shares.append(JobShare(job_id=job_id, ntasks=ntasks, requested_cpus=requested))
+        allocations = self.policy.distribute(self.topology, shares)
+
+        plan = LaunchPlan()
+        for jid, job in self._jobs.items():
+            new_alloc = allocations[jid]
+            new_task_masks = split_among_tasks(new_alloc.mask, job.ntasks)
+            updates: list[tuple[int, CpuSet]] = []
+            for task, new_mask in zip(job.tasks, new_task_masks):
+                if task.mask != new_mask:
+                    updates.append((task.pid if task.pid is not None else -1, new_mask))
+                    task.mask = new_mask
+            if updates:
+                plan.running_updates[jid] = updates
+
+        new_alloc = allocations[job_id]
+        new_task_masks = split_among_tasks(new_alloc.mask, ntasks)
+        plan.new_tasks = [
+            TaskPlacement(job_id=job_id, task_index=i, mask=mask)
+            for i, mask in enumerate(new_task_masks)
+        ]
+        self._jobs[job_id] = _LocalJob(
+            job_id=job_id,
+            tasks=list(plan.new_tasks),
+            requested_cpus=requested,
+            malleable=malleable,
+            pending_running_updates={k: list(v) for k, v in plan.running_updates.items()},
+        )
+        return plan
+
+    def _plan_on_free_cpus(
+        self, job_id: int, ntasks: int, requested: int, malleable: bool
+    ) -> LaunchPlan:
+        """Stock behaviour: place the job on currently unused CPUs only."""
+        free = self.free_mask()
+        grant = free.first(min(requested, free.count()))
+        if grant.count() < ntasks:
+            raise ValueError(
+                f"node {self.topology.name} has only {free.count()} free CPUs; "
+                f"cannot launch {ntasks} tasks of job {job_id} without oversubscription"
+            )
+        task_masks = split_among_tasks(grant, ntasks)
+        plan = LaunchPlan(
+            new_tasks=[
+                TaskPlacement(job_id=job_id, task_index=i, mask=mask)
+                for i, mask in enumerate(task_masks)
+            ]
+        )
+        self._jobs[job_id] = _LocalJob(
+            job_id=job_id,
+            tasks=list(plan.new_tasks),
+            requested_cpus=requested,
+            malleable=malleable,
+        )
+        return plan
+
+    # -- (2) pre_launch ------------------------------------------------------------
+
+    def pre_launch(self, job_id: int, task_index: int, pid: int) -> PreInitResult:
+        """Apply the computed mask to a starting task via ``DROM_PreInit``.
+
+        Before the first task of the step is pre-initialised, the new masks
+        computed for the *running* tasks are pushed through
+        ``DROM_SetProcessMask`` (the "update the other running task's mask"
+        part of Figure 2); those tasks pick the change up at their next
+        malleability point (``DLB_PollDROM``).
+        """
+        job = self._jobs[job_id]
+        self._apply_running_updates(job)
+        placement = job.tasks[task_index]
+        placement.pid = pid
+        flags = DromFlags.STEAL if self.drom_enabled else DromFlags.NONE
+        result = self.admin.pre_init(pid, placement.mask, flags)
+        if result.code.is_error():
+            raise RuntimeError(
+                f"DROM_PreInit failed for job {job_id} task {task_index} "
+                f"(pid {pid}): {result.code.name}"
+            )
+        return result
+
+    def _apply_running_updates(self, job: _LocalJob) -> None:
+        """Push pending mask changes of already-running tasks into DROM."""
+        if not job.pending_running_updates:
+            return
+        registered = set(self.admin.get_pid_list())
+        for _jid, updates in job.pending_running_updates.items():
+            for pid, mask in updates:
+                if pid < 0 or pid not in registered:
+                    continue
+                code = self.admin.set_process_mask(pid, mask, DromFlags.STEAL)
+                if code.is_error():
+                    raise RuntimeError(
+                        f"DROM_SetProcessMask({pid}) failed while re-partitioning "
+                        f"node {self.topology.name}: {code.name}"
+                    )
+        job.pending_running_updates = {}
+
+    # -- (4) post_term -----------------------------------------------------------------
+
+    def post_term(self, job_id: int, task_index: int) -> DlbError:
+        """Finalise one task via ``DROM_PostFinalize``."""
+        job = self._jobs[job_id]
+        placement = job.tasks[task_index]
+        if placement.pid is None:
+            return DlbError.DLB_NOUPDT
+        code, _returned = self.admin.post_finalize(placement.pid, DromFlags.RETURN_STOLEN)
+        return code
+
+    # -- (5) release_resources -------------------------------------------------------------
+
+    def release_resources(self, job_id: int) -> dict[int, CpuSet]:
+        """Drop a finished job and hand its CPUs to still-running DROM jobs.
+
+        Returns the new per-pid masks of expanded tasks.  Expansion is only
+        possible for malleable jobs still registered in the DLB shared memory;
+        the paper's example is job 2 expanding into job 1's CPUs once job 1
+        completes.
+        """
+        job = self._jobs.pop(job_id, None)
+        if job is None:
+            return {}
+        if not self.drom_enabled or not self._jobs:
+            return {}
+
+        # Re-distribute the whole node among the remaining jobs.
+        shares = [
+            JobShare(
+                job_id=jid,
+                ntasks=running.ntasks,
+                # Allow expansion up to the full node regardless of the
+                # original request: the paper's release path grows job 2 to
+                # "keep maximum node utilization".
+                requested_cpus=self.topology.ncpus,
+            )
+            for jid, running in self._jobs.items()
+        ]
+        allocations = self.policy.distribute(self.topology, shares)
+
+        new_masks: dict[int, CpuSet] = {}
+        registered = set(self.admin.get_pid_list())
+        for jid, running in self._jobs.items():
+            if not running.malleable:
+                continue
+            task_masks = split_among_tasks(allocations[jid].mask, running.ntasks)
+            for task, mask in zip(running.tasks, task_masks):
+                task.mask = mask
+                if task.pid is not None and task.pid in registered:
+                    code = self.admin.set_process_mask(task.pid, mask, DromFlags.STEAL)
+                    if not code.is_error():
+                        new_masks[task.pid] = mask
+        return new_masks

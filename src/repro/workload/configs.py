@@ -1,0 +1,123 @@
+"""Table 1 — application configurations used in the evaluation.
+
+==============  ==============  ==============  ==============
+Application     Conf. 1         Conf. 2         Conf. 3
+==============  ==============  ==============  ==============
+NEST            2 x 16          4 x 8           —
+CoreNeuron      2 x 16          4 x 8           —
+Pils            2 x 16          2 x 1           2 x 4
+STREAM          2 x 2           —               —
+==============  ==============  ==============  ==============
+
+(Entries are MPI ranks × OpenMP/OmpSs threads per rank; every job asks for the
+two MN3 nodes and distributes its ranks among them.)
+
+The module also carries the calibrated work volumes of the reproduction's
+application models — documented here because they are experiment parameters,
+not library defaults: the simulators use their library defaults (≈2600 s and
+≈2850 s standalone), Pils is configured per experiment to remain a short
+analytics-style job, and STREAM is the 8 GB multi-iteration run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import (
+    AppConfig,
+    ApplicationModel,
+    coreneuron_model,
+    nest_model,
+    pils_model,
+    stream_model,
+)
+
+#: Number of nodes every job of the evaluation requests.
+EVALUATION_NODES = 2
+
+#: Table 1 configurations.
+NEST_CONFIGS: dict[str, AppConfig] = {
+    "Conf. 1": AppConfig("Conf. 1", mpi_ranks=2, threads_per_rank=16),
+    "Conf. 2": AppConfig("Conf. 2", mpi_ranks=4, threads_per_rank=8),
+}
+CORENEURON_CONFIGS: dict[str, AppConfig] = {
+    "Conf. 1": AppConfig("Conf. 1", mpi_ranks=2, threads_per_rank=16),
+    "Conf. 2": AppConfig("Conf. 2", mpi_ranks=4, threads_per_rank=8),
+}
+PILS_CONFIGS: dict[str, AppConfig] = {
+    "Conf. 1": AppConfig("Conf. 1", mpi_ranks=2, threads_per_rank=16),
+    "Conf. 2": AppConfig("Conf. 2", mpi_ranks=2, threads_per_rank=1),
+    "Conf. 3": AppConfig("Conf. 3", mpi_ranks=2, threads_per_rank=4),
+}
+STREAM_CONFIGS: dict[str, AppConfig] = {
+    "Conf. 1": AppConfig("Conf. 1", mpi_ranks=2, threads_per_rank=2),
+}
+
+#: Calibrated Pils problem sizes (nominal CPU-seconds) per configuration, so
+#: that each configuration remains a short analytics job: roughly 175 s,
+#: 280 s and 230 s standalone respectively.
+PILS_WORK: dict[str, float] = {
+    "Conf. 1": 5_300.0,
+    "Conf. 2": 560.0,
+    "Conf. 3": 1_800.0,
+}
+
+
+@dataclass(frozen=True)
+class ConfiguredApp:
+    """An application model together with one of its Table-1 configurations."""
+
+    app_name: str
+    config: AppConfig
+    model: ApplicationModel
+
+    @property
+    def label(self) -> str:
+        return f"{self.app_name} {self.config.label}"
+
+
+def nest(config: str = "Conf. 1", **model_kwargs) -> ConfiguredApp:
+    """NEST in one of its Table-1 configurations."""
+    cfg = NEST_CONFIGS[config]
+    return ConfiguredApp("NEST", cfg, nest_model(**model_kwargs))
+
+
+def coreneuron(config: str = "Conf. 1", **model_kwargs) -> ConfiguredApp:
+    """CoreNeuron in one of its Table-1 configurations."""
+    cfg = CORENEURON_CONFIGS[config]
+    return ConfiguredApp("CoreNeuron", cfg, coreneuron_model(**model_kwargs))
+
+
+def pils(config: str = "Conf. 2", **model_kwargs) -> ConfiguredApp:
+    """Pils in one of its Table-1 configurations (per-config problem size)."""
+    cfg = PILS_CONFIGS[config]
+    kwargs = {"total_work": PILS_WORK[config], **model_kwargs}
+    return ConfiguredApp("Pils", cfg, pils_model(**kwargs))
+
+
+def stream(config: str = "Conf. 1", **model_kwargs) -> ConfiguredApp:
+    """STREAM in its Table-1 configuration."""
+    cfg = STREAM_CONFIGS[config]
+    return ConfiguredApp("STREAM", cfg, stream_model(**model_kwargs))
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """The rows of Table 1, as (application, Conf. 1, Conf. 2, Conf. 3)."""
+
+    def fmt(configs: dict[str, AppConfig], key: str) -> str:
+        if key not in configs:
+            return "-"
+        cfg = configs[key]
+        return f"{cfg.mpi_ranks} x {cfg.threads_per_rank}"
+
+    rows = []
+    for name, configs in (
+        ("NEST", NEST_CONFIGS),
+        ("CoreNeuron", CORENEURON_CONFIGS),
+        ("Pils", PILS_CONFIGS),
+        ("STREAM", STREAM_CONFIGS),
+    ):
+        rows.append(
+            (name, fmt(configs, "Conf. 1"), fmt(configs, "Conf. 2"), fmt(configs, "Conf. 3"))
+        )
+    return rows

@@ -1,0 +1,389 @@
+"""Scenario runner: executes a workload under the Serial or DROM scenario.
+
+This is the glue that turns all the substrates into the paper's experiments:
+
+* the :class:`~repro.slurm.slurmctld.Slurmctld` controller schedules the
+  workload's jobs on the two-node partition;
+* each node's :class:`~repro.slurm.slurmd.Slurmd` runs the DROM-enabled
+  task/affinity plugin and launches the tasks with ``DROM_PreInit``;
+* every launched task becomes an
+  :class:`~repro.runtime.process.ApplicationProcess` (DLB registration, an
+  OpenMP/OmpSs runtime, PMPI interception);
+* the application models advance step by step on the discrete-event engine,
+  polling DROM at every step boundary — so a mask written by the plugin is
+  adopted within one iteration, exactly like the paper's polling integration;
+* job completions run ``DROM_PostFinalize`` / ``release_resources``, which
+  expand the surviving jobs (the CoreNeuron expansion of Figure 13).
+
+Two scenarios are provided, matching Section 6:
+
+* **Serial** (``drom_enabled=False``): stock SLURM; a job waits in the queue
+  until enough CPUs are entirely free.
+* **DROM** (``drom_enabled=True``): malleable jobs are co-allocated and the
+  node CPUs are repartitioned on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.base import ApplicationModel, RankWorkPlan
+from repro.core.stats import ProcessStats, StatsModule
+from repro.cpuset.distribution import DistributionPolicy
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import ClusterTopology, NodeTopology
+from repro.metrics.collect import WorkloadMetrics
+from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.runtime.mpi import MpiCommunicator
+from repro.runtime.process import ApplicationProcess, ProcessSpec, ThreadModel
+from repro.sim.engine import SimulationEngine, Timeout
+from repro.slurm.jobs import Job, JobSpec
+from repro.slurm.launcher import JobLaunch, Srun
+from repro.slurm.slurmd import Slurmd
+from repro.slurm.slurmctld import Slurmctld
+from repro.workload.workloads import Workload, WorkloadJob
+
+SERIAL = "serial"
+DROM = "drom"
+
+
+@dataclass
+class RankExecution:
+    """Run-time state of one MPI rank of a running job."""
+
+    rank: int
+    node: NodeTopology
+    process: ApplicationProcess
+    plan: RankWorkPlan
+
+
+@dataclass
+class JobExecution:
+    """Run-time state of a whole running job."""
+
+    workload_job: WorkloadJob
+    job: Job
+    launch: JobLaunch
+    comm: MpiCommunicator
+    ranks: list[RankExecution] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.workload_job.label
+
+    @property
+    def model(self) -> ApplicationModel:
+        return self.workload_job.app.model
+
+    def finished(self) -> bool:
+        return all(rank.plan.finished for rank in self.ranks)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produces."""
+
+    scenario: str
+    workload: Workload
+    metrics: WorkloadMetrics
+    tracer: Tracer
+    jobs: dict[str, Job]
+    #: Final simulated time (equals the workload makespan end).
+    end_time: float
+    #: DROM statistics (Section 7 future work): per job label, the per-rank
+    #: counters accumulated by the stats module while the job ran.
+    job_stats: dict[str, list[ProcessStats]] = field(default_factory=dict)
+
+    def job(self, label: str) -> Job:
+        return self.jobs[label]
+
+    def job_utilisation(self, label: str) -> float:
+        """Aggregate CPU utilisation of one job (useful / owned CPU-seconds)."""
+        records = self.job_stats.get(label, [])
+        owned = sum(r.cpu_seconds_owned for r in records)
+        useful = sum(r.useful_time for r in records)
+        return min(1.0, useful / owned) if owned > 0 else 0.0
+
+
+class ScenarioRunner:
+    """Runs workloads under one scenario (Serial or DROM).
+
+    Parameters
+    ----------
+    drom_enabled:
+        False = Serial baseline, True = DROM co-allocation.
+    cluster:
+        Partition to run on; defaults to the paper's two MN3 nodes.
+    policy:
+        Mask-distribution policy of the task/affinity plugin (defaults to the
+        paper's socket-aware equipartition).
+    interference:
+        Optional hook ``interference(job_label, node_name, co_runners) ->
+        float`` returning a >=1 slow-down factor applied while other jobs run
+        on the same node.  Default: no interference (the paper measured no
+        visible interference between the co-located applications).
+    node_policy:
+        Optional :class:`~repro.slurm.policies.NodeSelectionPolicy` forwarded
+        to slurmctld (the DROM-aware "victim node" selection of the paper's
+        future work).
+    """
+
+    def __init__(
+        self,
+        drom_enabled: bool,
+        cluster: ClusterTopology | None = None,
+        policy: DistributionPolicy | None = None,
+        interference: Callable[[str, str, list[str]], float] | None = None,
+        node_policy=None,
+    ) -> None:
+        self.drom_enabled = drom_enabled
+        self.cluster = cluster or ClusterTopology.marenostrum3(2)
+        self.policy = policy
+        self.interference = interference
+        self.node_policy = node_policy
+
+    @property
+    def scenario(self) -> str:
+        return DROM if self.drom_enabled else SERIAL
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(self, workload: Workload, trace: bool = True) -> ScenarioResult:
+        """Execute ``workload`` to completion and return its metrics."""
+        state = _RunState(self, workload, trace)
+        state.start()
+        state.engine.run()
+        if not state.ctld.all_done():
+            pending = [j.spec.name for j in state.ctld.pending_jobs()]
+            raise RuntimeError(
+                f"workload {workload.name!r} did not complete; still pending: {pending}"
+            )
+        metrics = WorkloadMetrics.from_jobs(state.ctld.jobs.values())
+        return ScenarioResult(
+            scenario=self.scenario,
+            workload=workload,
+            metrics=metrics,
+            tracer=state.tracer,
+            jobs={label: job for label, job in state.jobs_by_label.items()},
+            end_time=state.engine.now,
+            job_stats=state.job_stats,
+        )
+
+
+def run_both_scenarios(
+    workload: Workload,
+    cluster: ClusterTopology | None = None,
+    policy: DistributionPolicy | None = None,
+) -> dict[str, ScenarioResult]:
+    """Run the Serial and DROM scenarios of the same workload."""
+    return {
+        SERIAL: ScenarioRunner(False, cluster=cluster, policy=policy).run(workload),
+        DROM: ScenarioRunner(True, cluster=cluster, policy=policy).run(workload),
+    }
+
+
+class _RunState:
+    """Mutable state of one scenario execution (one engine, one SLURM stack)."""
+
+    def __init__(self, runner: ScenarioRunner, workload: Workload, trace: bool) -> None:
+        self.runner = runner
+        self.workload = workload
+        self.trace = trace
+        self.engine = SimulationEngine()
+        self.ctld = Slurmctld(
+            runner.cluster,
+            drom_enabled=runner.drom_enabled,
+            node_policy=runner.node_policy,
+        )
+        self.slurmds: dict[str, Slurmd] = {
+            node.name: Slurmd(node, drom_enabled=runner.drom_enabled, policy=runner.policy)
+            for node in runner.cluster.nodes
+        }
+        self.srun = Srun(self.slurmds)
+        self.tracer = Tracer()
+        self.stats: dict[str, StatsModule] = {
+            name: StatsModule(slurmd.shmem) for name, slurmd in self.slurmds.items()
+        }
+        self.jobs_by_label: dict[str, Job] = {}
+        self.workload_jobs_by_id: dict[int, WorkloadJob] = {}
+        self.executions: dict[int, JobExecution] = {}
+        self.job_stats: dict[str, list[ProcessStats]] = {}
+
+    # -- submission & scheduling ----------------------------------------------------------
+
+    def start(self) -> None:
+        for wjob in self.workload.jobs:
+            self.engine.call_at(wjob.submit_time, self._submit, wjob)
+
+    def _submit(self, wjob: WorkloadJob) -> None:
+        spec = JobSpec(
+            name=wjob.label,
+            nodes=self.workload.nodes,
+            ntasks=wjob.app.config.mpi_ranks,
+            cpus_per_task=wjob.app.config.threads_per_rank,
+            application=wjob.app,
+            malleable=wjob.app.model.malleable,
+            priority=wjob.priority,
+        )
+        job = self.ctld.submit(spec, time=self.engine.now)
+        self.jobs_by_label[wjob.label] = job
+        self.workload_jobs_by_id[job.job_id] = wjob
+        self._schedule_pass()
+
+    def _schedule_pass(self) -> None:
+        for decision in self.ctld.schedule(self.engine.now):
+            self._launch(decision.job)
+
+    # -- launching --------------------------------------------------------------------------
+
+    def _launch(self, job: Job) -> None:
+        wjob = self.workload_jobs_by_id[job.job_id]
+        launch = self.srun.launch(job)
+        comm = MpiCommunicator(size=job.spec.ntasks, job_id=job.job_id)
+        execution = JobExecution(workload_job=wjob, job=job, launch=launch, comm=comm)
+
+        plans = wjob.app.model.build_plans(wjob.app.config)
+        for task in launch.tasks():
+            node_topology = self.runner.cluster.node(task.node)
+            shmem = self.slurmds[task.node].shmem
+            spec = ProcessSpec(
+                pid=task.pid,
+                node=task.node,
+                mpi_rank=task.global_rank,
+                thread_model=wjob.thread_model if wjob.app.model.malleable else ThreadModel.NONE,
+                initial_mask=task.mask,
+            )
+            process = ApplicationProcess(spec, shmem, comm=comm, environ=task.environ)
+            process.start()
+            if self.trace:
+                process.on_mask_change(
+                    lambda mask, label=wjob.label, rank=task.global_rank, proc=process: (
+                        self.tracer.record_mask_change(
+                            MaskChangeRecord(
+                                job=label,
+                                rank=rank,
+                                time=self.engine.now,
+                                old_threads=-1,
+                                new_threads=mask.count(),
+                            )
+                        )
+                    )
+                )
+            execution.ranks.append(
+                RankExecution(
+                    rank=task.global_rank,
+                    node=node_topology,
+                    process=process,
+                    plan=plans[task.global_rank],
+                )
+            )
+        self.executions[job.job_id] = execution
+        self.engine.spawn(self._execute(execution), name=f"job-{job.job_id}-{wjob.label}")
+
+    # -- execution ------------------------------------------------------------------------------
+
+    def _execute(self, execution: JobExecution):
+        model = execution.model
+        total_ranks = execution.job.spec.ntasks
+        while not execution.finished():
+            # Malleability point: every rank polls DROM before the next
+            # iteration (PMPI / OMPT / task-scheduling point).
+            if model.malleable:
+                for rank in execution.ranks:
+                    rank.process.poll_malleability()
+
+            durations: list[float] = []
+            for rank in execution.ranks:
+                mask = rank.process.current_mask
+                interference = self._interference(execution, rank)
+                durations.append(
+                    model.step_time(
+                        rank.plan,
+                        mask,
+                        rank.node,
+                        total_ranks=total_ranks,
+                        interference=interference,
+                    )
+                )
+            step_duration = max(durations)
+            start = self.engine.now
+            yield Timeout(step_duration)
+
+            for rank, duration in zip(execution.ranks, durations):
+                mask = rank.process.current_mask
+                nthreads = mask.count()
+                utilisation = model.profile.partition.thread_utilisation(
+                    rank.plan.initial_threads, nthreads
+                )
+                if not model.profile.partition.is_static:
+                    utilisation = [1.0] * nthreads
+                # Ranks that finish their step early idle in MPI until the
+                # slowest rank catches up.
+                scale = duration / step_duration if step_duration > 0 else 1.0
+                step = rank.plan.current_step()
+                if self.trace:
+                    self.tracer.record_step(
+                        StepRecord(
+                            job=execution.label,
+                            rank=rank.rank,
+                            node=rank.node.name,
+                            start=start,
+                            duration=step_duration,
+                            phase=step.phase.name,
+                            nthreads=nthreads,
+                            thread_utilisation=tuple(u * scale for u in utilisation),
+                            ipc=model.step_ipc(rank.plan, mask, rank.node),
+                            work_units=step.work_units,
+                        )
+                    )
+                # DROM statistics module: useful vs idle thread-seconds and
+                # CPU ownership, later consumable by scheduling policies.
+                node_stats = self.stats[rank.node.name]
+                busy_thread_seconds = sum(utilisation) * scale * step_duration
+                owned_thread_seconds = nthreads * step_duration
+                node_stats.record_compute(
+                    rank.process.spec.pid,
+                    useful_time=busy_thread_seconds,
+                    idle_time=max(0.0, owned_thread_seconds - busy_thread_seconds),
+                )
+                node_stats.record_ownership(rank.process.spec.pid, nthreads, step_duration)
+                rank.plan.advance()
+        self._complete(execution)
+
+    def _interference(self, execution: JobExecution, rank: RankExecution) -> float:
+        if self.runner.interference is None:
+            return 1.0
+        slurmd = self.slurmds[rank.node.name]
+        co_runners = [
+            self.ctld.jobs[jid].spec.name
+            for jid in slurmd.running_job_ids()
+            if jid != execution.job.job_id
+        ]
+        return self.runner.interference(execution.label, rank.node.name, co_runners)
+
+    # -- completion ----------------------------------------------------------------------------------
+
+    def _complete(self, execution: JobExecution) -> None:
+        job = execution.job
+        # Snapshot the DROM statistics before the processes unregister.
+        snapshots: list[ProcessStats] = []
+        for rank in execution.ranks:
+            node_stats = self.stats[rank.node.name]
+            try:
+                record = node_stats.process_stats(rank.process.spec.pid)
+                record.mask_changes = rank.process.dlb.updates
+                snapshots.append(record)
+            except Exception:
+                pass
+            node_stats.drop(rank.process.spec.pid)
+        self.job_stats[execution.label] = snapshots
+        for rank in execution.ranks:
+            rank.process.finish()
+        # post_term + release_resources: surviving jobs may expand.
+        self.srun.terminate(job)
+        self.ctld.job_completed(job.job_id, self.engine.now)
+        del self.executions[job.job_id]
+        # Freed resources may let queued jobs start (the Serial scenario's
+        # analytics job starts here).
+        self._schedule_pass()

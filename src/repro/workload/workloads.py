@@ -1,0 +1,118 @@
+"""Workload definitions for the two use cases of Section 6.
+
+A *workload* is a list of jobs with submission times.  Use case 1 (in-situ
+analytics) pairs a long simulation (NEST or CoreNeuron) with a short analytics
+job (Pils or STREAM) submitted shortly after the simulation starts.  Use case
+2 (high-priority job) pairs a long NEST with a long, high-priority CoreNeuron
+submitted while NEST runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.process import ThreadModel
+from repro.workload import configs
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One job of a workload."""
+
+    app: configs.ConfiguredApp
+    submit_time: float = 0.0
+    priority: int = 0
+    #: Shared-memory programming model the application uses (OpenMP for the
+    #: simulators and STREAM, OmpSs for Pils — Section 6's application list).
+    thread_model: ThreadModel = ThreadModel.OPENMP
+    #: Override of the job name; defaults to the app label.
+    name: str | None = None
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else self.app.label
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named list of jobs submitted to the two-node partition."""
+
+    name: str
+    jobs: tuple[WorkloadJob, ...]
+    nodes: int = configs.EVALUATION_NODES
+
+    def job_labels(self) -> list[str]:
+        return [job.label for job in self.jobs]
+
+
+#: Default submission offset of the analytics / high-priority job: the second
+#: job arrives shortly after the first one has started (time (b) in Figures
+#: 3 and 13).
+DEFAULT_SECOND_SUBMIT = 120.0
+
+
+def in_situ_workload(
+    simulator: str = "NEST",
+    simulator_config: str = "Conf. 1",
+    analytics: str = "Pils",
+    analytics_config: str = "Conf. 2",
+    analytics_submit: float = DEFAULT_SECOND_SUBMIT,
+) -> Workload:
+    """Use case 1: a simulation plus an in-situ analytics job.
+
+    ``simulator`` is ``"NEST"`` or ``"CoreNeuron"``; ``analytics`` is
+    ``"Pils"`` or ``"STREAM"``.  The analytics job is submitted at
+    ``analytics_submit`` seconds, while the simulation is running.
+    """
+    sim_factory = {"NEST": configs.nest, "CoreNeuron": configs.coreneuron}[simulator]
+    ana_factory = {"Pils": configs.pils, "STREAM": configs.stream}[analytics]
+    sim = sim_factory(simulator_config)
+    ana = ana_factory(analytics_config)
+    ana_thread_model = ThreadModel.OMPSS if analytics == "Pils" else ThreadModel.OPENMP
+    return Workload(
+        name=f"{simulator} {simulator_config} + {analytics} {analytics_config}",
+        jobs=(
+            WorkloadJob(app=sim, submit_time=0.0, thread_model=ThreadModel.OPENMP),
+            WorkloadJob(
+                app=ana,
+                submit_time=analytics_submit,
+                thread_model=ana_thread_model,
+            ),
+        ),
+    )
+
+
+def high_priority_workload(
+    second_submit: float = DEFAULT_SECOND_SUBMIT,
+) -> Workload:
+    """Use case 2: long NEST + long, high-priority CoreNeuron (both Conf. 1)."""
+    return Workload(
+        name="UC2: NEST Conf. 1 + high-priority CoreNeuron Conf. 1",
+        jobs=(
+            WorkloadJob(app=configs.nest("Conf. 1"), submit_time=0.0),
+            WorkloadJob(
+                app=configs.coreneuron("Conf. 1"),
+                submit_time=second_submit,
+                priority=10,
+            ),
+        ),
+    )
+
+
+def all_in_situ_workloads() -> list[Workload]:
+    """Every simulator/analytics/configuration combination of use case 1.
+
+    This is the full sweep behind Figures 4 and 6–12: NEST and CoreNeuron in
+    Conf. 1/2, each paired with Pils Conf. 1/2/3 and with STREAM.
+    """
+    workloads: list[Workload] = []
+    for simulator in ("NEST", "CoreNeuron"):
+        for sim_config in ("Conf. 1", "Conf. 2"):
+            for ana_config in ("Conf. 1", "Conf. 2", "Conf. 3"):
+                workloads.append(
+                    in_situ_workload(simulator, sim_config, "Pils", ana_config)
+                )
+            workloads.append(
+                in_situ_workload(simulator, sim_config, "STREAM", "Conf. 1")
+            )
+    return workloads

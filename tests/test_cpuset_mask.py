@@ -1,0 +1,217 @@
+"""Tests of the CpuSet bitset (the reproduction's cpu_set_t)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpuset.mask import CpuSet
+
+cpu_lists = st.lists(st.integers(min_value=0, max_value=63), max_size=32)
+
+
+class TestConstruction:
+    def test_empty_by_default(self):
+        assert CpuSet().is_empty()
+        assert CpuSet().count() == 0
+
+    def test_from_iterable_deduplicates(self):
+        assert CpuSet([1, 1, 2, 2, 2]).count() == 2
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet([-1])
+
+    def test_from_bits(self):
+        assert CpuSet.from_bits(0b1011).cpus() == (0, 1, 3)
+
+    def test_from_bits_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet.from_bits(-1)
+
+    def test_from_range(self):
+        assert CpuSet.from_range(2, 6).cpus() == (2, 3, 4, 5)
+
+    def test_from_range_empty(self):
+        assert CpuSet.from_range(3, 3).is_empty()
+
+    def test_from_range_invalid(self):
+        with pytest.raises(ValueError):
+            CpuSet.from_range(5, 2)
+        with pytest.raises(ValueError):
+            CpuSet.from_range(-1, 2)
+
+    def test_full(self):
+        assert CpuSet.full(16).count() == 16
+        assert CpuSet.full(16).highest() == 15
+
+    def test_empty_constructor(self):
+        assert CpuSet.empty() == CpuSet()
+
+
+class TestParse:
+    def test_parse_single(self):
+        assert CpuSet.parse("3").cpus() == (3,)
+
+    def test_parse_range(self):
+        assert CpuSet.parse("0-3").cpus() == (0, 1, 2, 3)
+
+    def test_parse_mixed(self):
+        assert CpuSet.parse("0-2,5,8-9").cpus() == (0, 1, 2, 5, 8, 9)
+
+    def test_parse_empty_string(self):
+        assert CpuSet.parse("").is_empty()
+        assert CpuSet.parse("  ").is_empty()
+
+    def test_parse_invalid_range(self):
+        with pytest.raises(ValueError):
+            CpuSet.parse("5-2")
+
+    def test_roundtrip_with_to_list_string(self):
+        mask = CpuSet([0, 1, 2, 5, 8, 9, 15])
+        assert CpuSet.parse(mask.to_list_string()) == mask
+
+    def test_to_list_string_empty(self):
+        assert CpuSet.empty().to_list_string() == ""
+
+    def test_to_list_string_compacts_ranges(self):
+        assert CpuSet([0, 1, 2, 3, 8]).to_list_string() == "0-3,8"
+
+
+class TestQueries:
+    def test_contains(self):
+        mask = CpuSet([2, 4])
+        assert mask.contains(2)
+        assert not mask.contains(3)
+        assert not mask.contains(-1)
+        assert 4 in mask
+        assert 5 not in mask
+        assert "x" not in mask
+
+    def test_lowest_highest(self):
+        mask = CpuSet([5, 9, 3])
+        assert mask.lowest() == 3
+        assert mask.highest() == 9
+
+    def test_lowest_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            CpuSet.empty().lowest()
+        with pytest.raises(ValueError):
+            CpuSet.empty().highest()
+
+    def test_len_and_bool(self):
+        assert len(CpuSet([1, 2, 3])) == 3
+        assert bool(CpuSet([1]))
+        assert not bool(CpuSet())
+
+    def test_subset_superset(self):
+        small, big = CpuSet([1, 2]), CpuSet([0, 1, 2, 3])
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert small <= big
+        assert big >= small
+        assert small < big
+        assert big > small
+        assert not big <= small
+
+    def test_isdisjoint(self):
+        assert CpuSet([0, 1]).isdisjoint(CpuSet([2, 3]))
+        assert not CpuSet([0, 1]).isdisjoint(CpuSet([1, 2]))
+
+    def test_first_and_last(self):
+        mask = CpuSet([1, 3, 5, 7, 9])
+        assert mask.first(2) == CpuSet([1, 3])
+        assert mask.last(2) == CpuSet([7, 9])
+        assert mask.first(100) == mask
+        assert mask.first(0).is_empty()
+
+    def test_first_negative_raises(self):
+        with pytest.raises(ValueError):
+            CpuSet([1]).first(-1)
+        with pytest.raises(ValueError):
+            CpuSet([1]).last(-1)
+
+
+class TestAlgebra:
+    def test_union_intersection_difference(self):
+        a, b = CpuSet([0, 1, 2]), CpuSet([2, 3])
+        assert (a | b).cpus() == (0, 1, 2, 3)
+        assert (a & b).cpus() == (2,)
+        assert (a - b).cpus() == (0, 1)
+        assert (a ^ b).cpus() == (0, 1, 3)
+
+    def test_add_remove_return_new_objects(self):
+        a = CpuSet([0])
+        b = a.add(5)
+        assert a.cpus() == (0,)
+        assert b.cpus() == (0, 5)
+        c = b.remove(0)
+        assert c.cpus() == (5,)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            CpuSet().add(-1)
+        with pytest.raises(ValueError):
+            CpuSet().remove(-2)
+
+    def test_equality_and_hash(self):
+        assert CpuSet([1, 2]) == CpuSet([2, 1])
+        assert hash(CpuSet([1, 2])) == hash(CpuSet([2, 1]))
+        assert CpuSet([1]) != CpuSet([2])
+        assert CpuSet([1]).__eq__(42) is NotImplemented
+
+    def test_immutability(self):
+        mask = CpuSet([1])
+        with pytest.raises(AttributeError):
+            mask._bits = 5  # type: ignore[attr-defined]
+
+    def test_repr_lists_cpus(self):
+        assert repr(CpuSet([3, 1])) == "CpuSet([1, 3])"
+
+
+class TestProperties:
+    @given(cpu_lists)
+    def test_count_matches_unique_cpus(self, cpus):
+        assert CpuSet(cpus).count() == len(set(cpus))
+
+    @given(cpu_lists)
+    def test_iteration_sorted_and_unique(self, cpus):
+        listed = list(CpuSet(cpus))
+        assert listed == sorted(set(cpus))
+
+    @given(cpu_lists, cpu_lists)
+    def test_union_is_commutative_and_contains_both(self, a, b):
+        sa, sb = CpuSet(a), CpuSet(b)
+        assert sa | sb == sb | sa
+        assert sa.issubset(sa | sb)
+        assert sb.issubset(sa | sb)
+
+    @given(cpu_lists, cpu_lists)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        sa, sb = CpuSet(a), CpuSet(b)
+        assert (sa - sb).isdisjoint(sb)
+        assert (sa - sb) | (sa & sb) == sa
+
+    @given(cpu_lists)
+    def test_parse_roundtrip(self, cpus):
+        mask = CpuSet(cpus)
+        assert CpuSet.parse(mask.to_list_string()) == mask
+
+    @given(cpu_lists, st.integers(min_value=0, max_value=40))
+    def test_first_n_is_prefix(self, cpus, n):
+        mask = CpuSet(cpus)
+        prefix = mask.first(n)
+        assert prefix.count() == min(n, mask.count())
+        assert prefix.issubset(mask)
+        # Every CPU not taken is larger than every CPU taken.
+        if prefix and (mask - prefix):
+            assert prefix.highest() < (mask - prefix).lowest()
+
+    @given(cpu_lists, cpu_lists)
+    def test_set_semantics_match_python_sets(self, a, b):
+        sa, sb = CpuSet(a), CpuSet(b)
+        pa, pb = set(a), set(b)
+        assert set(sa | sb) == pa | pb
+        assert set(sa & sb) == pa & pb
+        assert set(sa - sb) == pa - pb
+        assert set(sa ^ sb) == pa ^ pb

@@ -1,0 +1,136 @@
+"""Tests of the LeWI (Lend-When-Idle) module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DlbError
+from repro.core.flags import DromFlags
+from repro.core.lewi import LewiModule
+from repro.cpuset.mask import CpuSet
+
+
+@pytest.fixture
+def lewi_setup(shmem):
+    """Two processes sharing a node: pid 1 on socket 0, pid 2 on socket 1."""
+    shmem.register(1, CpuSet.from_range(0, 8))
+    shmem.register(2, CpuSet.from_range(8, 16))
+    return LewiModule(shmem), shmem
+
+
+class TestLend:
+    def test_default_lend_keeps_one_cpu(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, lent = lewi.lend(1)
+        assert code is DlbError.DLB_SUCCESS
+        assert lent == CpuSet.from_range(1, 8)
+        assert lewi.lent_by(1) == lent
+        assert lewi.idle_cpus() == lent
+        assert lewi.effective_mask(1) == CpuSet([0])
+
+    def test_lend_specific_mask(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, lent = lewi.lend(1, CpuSet([6, 7]))
+        assert code is DlbError.DLB_SUCCESS
+        assert lent == CpuSet([6, 7])
+
+    def test_lend_only_owned_cpus(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, lent = lewi.lend(1, CpuSet([7, 8]))
+        assert lent == CpuSet([7])
+
+    def test_lend_unknown_pid(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, lent = lewi.lend(99)
+        assert code is DlbError.DLB_ERR_NOPROC
+        assert lent.is_empty()
+
+    def test_single_cpu_process_does_not_lend(self, shmem):
+        shmem.register(5, CpuSet([3]))
+        lewi = LewiModule(shmem)
+        code, lent = lewi.lend(5)
+        assert code is DlbError.DLB_NOUPDT
+        assert lent.is_empty()
+
+    def test_double_lend_is_noupdt(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        code, lent = lewi.lend(1)
+        assert code is DlbError.DLB_NOUPDT
+
+
+class TestBorrowReclaim:
+    def test_borrow_takes_idle_cpus(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        code, borrowed = lewi.borrow(2)
+        assert code is DlbError.DLB_SUCCESS
+        assert borrowed == CpuSet.from_range(1, 8)
+        assert lewi.borrowed_by(2) == borrowed
+        assert lewi.effective_mask(2) == CpuSet.from_range(1, 16)
+        assert lewi.idle_cpus().is_empty()
+
+    def test_borrow_with_limit(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        code, borrowed = lewi.borrow(2, max_cpus=3)
+        assert borrowed.count() == 3
+
+    def test_cannot_borrow_own_lent_cpus(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        code, borrowed = lewi.borrow(1)
+        assert code is DlbError.DLB_NOUPDT
+
+    def test_borrow_nothing_available(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, borrowed = lewi.borrow(2)
+        assert code is DlbError.DLB_NOUPDT
+
+    def test_borrow_unknown_pid(self, lewi_setup):
+        lewi, _ = lewi_setup
+        assert lewi.borrow(99)[0] is DlbError.DLB_ERR_NOPROC
+
+    def test_reclaim_revokes_borrowers(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        lewi.borrow(2)
+        code, reclaimed, revoked = lewi.reclaim(1)
+        assert code is DlbError.DLB_SUCCESS
+        assert reclaimed == CpuSet.from_range(1, 8)
+        assert revoked == {2: CpuSet.from_range(1, 8)}
+        assert lewi.effective_mask(1) == CpuSet.from_range(0, 8)
+        assert lewi.effective_mask(2) == CpuSet.from_range(8, 16)
+
+    def test_reclaim_without_lending(self, lewi_setup):
+        lewi, _ = lewi_setup
+        code, reclaimed, revoked = lewi.reclaim(1)
+        assert code is DlbError.DLB_NOUPDT
+        assert reclaimed.is_empty()
+        assert revoked == {}
+
+    def test_return_borrowed_back_to_pool(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1)
+        lewi.borrow(2)
+        code, returned = lewi.return_borrowed(2, CpuSet([1, 2]))
+        assert code is DlbError.DLB_SUCCESS
+        assert returned == CpuSet([1, 2])
+        assert lewi.idle_cpus() == CpuSet([1, 2])
+        assert lewi.borrowed_by(2) == CpuSet.from_range(3, 8)
+
+    def test_return_borrowed_nothing(self, lewi_setup):
+        lewi, _ = lewi_setup
+        assert lewi.return_borrowed(2)[0] is DlbError.DLB_NOUPDT
+
+
+class TestComposition:
+    def test_lewi_and_drom_coexist(self, lewi_setup, admin):
+        """LeWI lending composes with a DROM mask change on the same process."""
+        lewi, shmem = lewi_setup
+        lewi.lend(1, CpuSet([6, 7]))
+        admin.set_process_mask(1, CpuSet.from_range(0, 4), DromFlags.STEAL)
+        shmem.poll(1)
+        # After DROM shrinks the process, its effective mask excludes both the
+        # removed CPUs and what it lent.
+        assert lewi.effective_mask(1) == CpuSet.from_range(0, 4) - lewi.lent_by(1)

@@ -1,0 +1,199 @@
+"""Tests of metrics collection, counters, tracing and the Paraver views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.collect import JobMetrics, WorkloadMetrics, relative_improvement
+from repro.metrics.counters import CounterLog, CounterSample
+from repro.metrics.paraver import ParaverView
+from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.slurm.jobs import Job, JobSpec
+
+
+def finished_job(name, submit, start, end):
+    job = Job(spec=JobSpec(name=name, nodes=1, ntasks=1, cpus_per_task=1))
+    job.mark_submitted(submit)
+    job.mark_started(start, ("n0",))
+    job.mark_completed(end)
+    return job
+
+
+class TestWorkloadMetrics:
+    def test_paper_metric_definitions(self):
+        """Total run time = last end - first submit; response = end - submit."""
+        jobs = [finished_job("sim", 0.0, 0.0, 100.0), finished_job("ana", 10.0, 100.0, 130.0)]
+        metrics = WorkloadMetrics.from_jobs(jobs)
+        assert metrics.total_run_time == 130.0
+        assert metrics.response_times() == {"sim": 100.0, "ana": 120.0}
+        assert metrics.wait_times() == {"sim": 0.0, "ana": 90.0}
+        assert metrics.run_times() == {"sim": 100.0, "ana": 30.0}
+        assert metrics.average_response_time == 110.0
+        assert metrics.makespan_end == 130.0
+        assert metrics.job("ana").wait_time == 90.0
+
+    def test_unfinished_job_rejected(self):
+        job = Job(spec=JobSpec(name="x", nodes=1, ntasks=1, cpus_per_task=1))
+        job.mark_submitted(0.0)
+        with pytest.raises(ValueError):
+            WorkloadMetrics.from_jobs([job])
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMetrics.from_jobs([])
+
+    def test_unknown_job_lookup(self):
+        metrics = WorkloadMetrics.from_jobs([finished_job("a", 0, 0, 1)])
+        with pytest.raises(KeyError):
+            metrics.job("missing")
+
+    def test_relative_improvement(self):
+        assert relative_improvement(100.0, 92.0) == pytest.approx(0.08)
+        assert relative_improvement(100.0, 110.0) == pytest.approx(-0.10)
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 1.0)
+
+    def test_job_metrics_properties(self):
+        jm = JobMetrics(job_id=1, name="j", submit_time=5.0, start_time=10.0, end_time=30.0)
+        assert jm.wait_time == 5.0
+        assert jm.run_time == 20.0
+        assert jm.response_time == 25.0
+
+
+class TestCounterLog:
+    def make_log(self):
+        log = CounterLog()
+        for t in range(4):
+            log.record(CounterSample("sim", rank=0, thread=t, start=0.0, duration=10.0,
+                                     ipc=1.0 + 0.1 * t, cycles_per_us=2600))
+            log.record(CounterSample("sim", rank=0, thread=t, start=10.0, duration=10.0,
+                                     ipc=1.0, cycles_per_us=2600))
+        log.record(CounterSample("ana", rank=0, thread=0, start=5.0, duration=5.0,
+                                 ipc=0.5, cycles_per_us=1300))
+        return log
+
+    def test_basic_queries(self):
+        log = self.make_log()
+        assert len(log) == 9
+        assert log.jobs() == ["sim", "ana"]
+        assert len(log.for_job("ana")) == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CounterLog().record(CounterSample("x", 0, 0, 0.0, -1.0, 1.0, 2600))
+
+    def test_mean_ipc_weighted_by_duration(self):
+        log = CounterLog()
+        log.record(CounterSample("j", 0, 0, 0.0, 10.0, 1.0, 2600))
+        log.record(CounterSample("j", 0, 0, 10.0, 30.0, 2.0, 2600))
+        assert log.mean_ipc("j") == pytest.approx((1.0 * 10 + 2.0 * 30) / 40)
+
+    def test_mean_ipc_missing_job(self):
+        with pytest.raises(ValueError):
+            CounterLog().mean_ipc("nope")
+
+    def test_histogram_per_thread(self):
+        log = self.make_log()
+        hist = log.ipc_histogram("sim", bins=10, range_=(0.0, 2.0))
+        assert set(hist.keys()) == {(0, t) for t in range(4)}
+        assert all(counts.sum() == 2 for counts in hist.values())
+
+    def test_most_frequent_ipc(self):
+        log = self.make_log()
+        assert 0.9 <= log.most_frequent_ipc("sim") <= 1.4
+
+    def test_cycles_timeline_bins(self):
+        log = self.make_log()
+        timeline = log.cycles_timeline("sim", bin_seconds=10.0)
+        values = timeline[(0, 0)]
+        assert values[0] == pytest.approx(2600)
+        assert values[1] == pytest.approx(2600)
+
+    def test_extend(self):
+        log = CounterLog()
+        log.extend([CounterSample("j", 0, 0, 0.0, 1.0, 1.0, 2600)])
+        assert len(log) == 1
+
+
+class TestTracer:
+    def make_tracer(self):
+        tracer = Tracer()
+        for i in range(3):
+            tracer.record_step(StepRecord(
+                job="sim", rank=0, node="n0", start=10.0 * i, duration=10.0,
+                phase="solve", nthreads=4,
+                thread_utilisation=(1.0, 1.0, 0.5, 0.5), ipc=1.2, work_units=5.0,
+            ))
+        tracer.record_step(StepRecord(
+            job="ana", rank=0, node="n0", start=5.0, duration=10.0, phase="compute",
+            nthreads=2, thread_utilisation=(1.0, 1.0), ipc=1.8, work_units=3.0,
+        ))
+        tracer.record_mask_change(MaskChangeRecord("sim", 0, 12.0, 8, 4))
+        return tracer
+
+    def test_step_queries(self):
+        tracer = self.make_tracer()
+        assert len(tracer) == 4
+        assert len(tracer.steps("sim")) == 3
+        assert len(tracer.steps("sim", rank=0)) == 3
+        assert tracer.jobs() == ["sim", "ana"]
+        assert tracer.span("sim") == (0.0, 30.0)
+        assert len(tracer.mask_changes("sim")) == 1
+        assert len(tracer.mask_changes()) == 1
+        with pytest.raises(ValueError):
+            tracer.span("missing")
+
+    def test_thread_utilisation_time_weighted(self):
+        tracer = self.make_tracer()
+        util = tracer.thread_utilisation("sim", 0)
+        assert util[0] == pytest.approx(1.0)
+        assert util[2] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            tracer.thread_utilisation("sim", 99)
+
+    def test_counter_log_expansion(self):
+        tracer = self.make_tracer()
+        log = tracer.counter_log()
+        # 3 steps x 4 threads + 1 step x 2 threads
+        assert len(log) == 14
+        sim_samples = log.for_job("sim")
+        assert all(s.cycles_per_us <= 2600 for s in sim_samples)
+
+    def test_merge(self):
+        a, b = self.make_tracer(), self.make_tracer()
+        a.merge(b)
+        assert len(a) == 8
+
+
+class TestParaverView:
+    def test_thread_activity_rows(self):
+        tracer = TestTracer().make_tracer()
+        view = ParaverView(tracer, bin_seconds=10.0)
+        rows = view.thread_activity("sim")
+        assert len(rows) == 4
+        assert rows[0].label.endswith("t0")
+        assert rows[0].values[0] == pytest.approx(1.0)
+        assert rows[2].values[0] == pytest.approx(0.5)
+
+    def test_job_thread_count_row(self):
+        tracer = TestTracer().make_tracer()
+        view = ParaverView(tracer, bin_seconds=10.0)
+        row = view.job_thread_count("sim")
+        assert row.values[0] == pytest.approx(4.0)
+
+    def test_renderings_are_strings(self):
+        tracer = TestTracer().make_tracer()
+        view = ParaverView(tracer, bin_seconds=10.0)
+        text = view.render_thread_activity("sim")
+        assert "sim r0 t0" in text
+        widths = view.render_job_widths(["sim", "ana"])
+        assert "sim" in widths and "ana" in widths
+
+    def test_empty_job_rendering(self):
+        view = ParaverView(Tracer(), bin_seconds=10.0)
+        assert "no trace data" in view.render_thread_activity("ghost")
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(ValueError):
+            ParaverView(Tracer(), bin_seconds=0.0)

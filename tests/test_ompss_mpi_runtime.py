@@ -1,0 +1,144 @@
+"""Tests of the OmpSs runtime and of the MPI/PMPI interception layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dlb import DlbProcess
+from repro.core.flags import DromFlags
+from repro.cpuset.mask import CpuSet
+from repro.runtime.mpi import DlbPmpiInterceptor, MpiCall, MpiCommunicator
+from repro.runtime.ompss import OmpSsRuntime
+
+
+class TestOmpSsRuntime:
+    def test_workers_match_mask(self):
+        runtime = OmpSsRuntime(CpuSet.from_range(0, 4))
+        assert runtime.num_workers == 4
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            OmpSsRuntime(CpuSet.empty())
+
+    def test_tasks_round_robin_over_workers(self):
+        runtime = OmpSsRuntime(CpuSet([0, 1]))
+        records = runtime.run_tasks(4)
+        assert [r.worker_cpu for r in records] == [0, 1, 0, 1]
+        assert all(r.team_size == 2 for r in records)
+
+    def test_negative_tasks_rejected(self):
+        runtime = OmpSsRuntime(CpuSet([0]))
+        with pytest.raises(ValueError):
+            runtime.run_tasks(-1)
+
+    def test_apply_mask_resizes_pool_immediately(self):
+        runtime = OmpSsRuntime(CpuSet.from_range(0, 4))
+        runtime.apply_mask(CpuSet([6]))
+        assert runtime.num_workers == 1
+        assert runtime.run_tasks(2)[0].worker_cpu == 6
+        with pytest.raises(ValueError):
+            runtime.apply_mask(CpuSet.empty())
+
+    def test_poll_without_dlb_is_noop(self):
+        runtime = OmpSsRuntime(CpuSet([0, 1]))
+        assert runtime.poll_malleability() is False
+
+    def test_dlb_poll_at_scheduling_point(self, shmem, admin):
+        """The native OmpSs+DLB integration: the pool resizes at the next
+        task-scheduling point after a DROM change."""
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 8), environ={})
+        dlb.init()
+        runtime = OmpSsRuntime(CpuSet.from_range(0, 8), dlb=dlb)
+        seen = []
+        runtime.on_update = seen.append
+        runtime.run_tasks(4)
+        admin.set_process_mask(1, CpuSet.from_range(0, 2), DromFlags.STEAL)
+        records = runtime.run_tasks(4)
+        assert runtime.num_workers == 2
+        assert {r.worker_cpu for r in records} == {0, 1}
+        assert runtime.updates_applied == 1
+        assert seen == [CpuSet.from_range(0, 2)]
+
+
+class TestMpiCommunicator:
+    def test_size_and_ranks(self):
+        comm = MpiCommunicator(size=4)
+        assert comm.rank(2).rank == 2
+        assert len(comm.ranks()) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MpiCommunicator(size=0)
+
+    def test_send_recv_matching(self):
+        comm = MpiCommunicator(size=2)
+        comm.rank(0).send({"x": 1}, dest=1, tag=7)
+        assert comm.rank(1).recv(source=0, tag=7) == {"x": 1}
+
+    def test_recv_without_send_raises(self):
+        comm = MpiCommunicator(size=2)
+        with pytest.raises(RuntimeError):
+            comm.rank(1).recv(source=0)
+
+    def test_collectives_run_hooks(self):
+        comm = MpiCommunicator(size=2)
+        calls = []
+        comm.pmpi.register(before=lambda rank, call: calls.append((rank.rank, call)))
+        comm.rank(0).barrier()
+        comm.rank(1).bcast("data")
+        comm.rank(0).allreduce(3.0)
+        assert (0, MpiCall.BARRIER) in calls
+        assert (1, MpiCall.BCAST) in calls
+        assert (0, MpiCall.ALLREDUCE) in calls
+        assert comm.pmpi.intercepted_calls == 3
+
+    def test_before_and_after_hooks_order(self):
+        comm = MpiCommunicator(size=1)
+        order = []
+        comm.pmpi.register(
+            before=lambda r, c: order.append("before"),
+            after=lambda r, c: order.append("after"),
+        )
+        comm.rank(0).barrier()
+        assert order == ["before", "after"]
+
+    def test_calls_made_counter(self):
+        comm = MpiCommunicator(size=1)
+        rank = comm.rank(0)
+        rank.init()
+        rank.barrier()
+        rank.wait()
+        rank.finalize()
+        assert rank.calls_made == 4
+
+
+class TestDlbPmpiInterceptor:
+    def test_mask_forwarded_at_mpi_call(self, shmem, admin):
+        """Section 4.3: MPI interception is a polling point; the mask change
+        reaches the shared-memory runtime at the next MPI call."""
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 8), environ={})
+        dlb.init()
+        applied = []
+        comm = MpiCommunicator(size=2)
+        interceptor = DlbPmpiInterceptor(dlb, applied.append)
+        interceptor.install(comm, rank_index=0)
+
+        comm.rank(0).barrier()
+        assert applied == []
+
+        admin.set_process_mask(1, CpuSet.from_range(0, 4))
+        comm.rank(1).barrier()   # other rank's calls do not poll this process
+        assert applied == []
+        comm.rank(0).barrier()
+        assert applied == [CpuSet.from_range(0, 4)]
+        assert interceptor.updates_applied == 1
+
+    def test_direct_poll(self, shmem, admin):
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 8), environ={})
+        dlb.init()
+        applied = []
+        interceptor = DlbPmpiInterceptor(dlb, applied.append)
+        assert interceptor.poll() is False
+        admin.set_process_mask(1, CpuSet.from_range(0, 2))
+        assert interceptor.poll() is True
+        assert applied == [CpuSet.from_range(0, 2)]

@@ -1,0 +1,185 @@
+"""Tests of the simulated OpenMP runtime, OMPT and the DLB OMPT tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dlb import DlbProcess
+from repro.core.flags import DromFlags
+from repro.cpuset.mask import CpuSet
+from repro.runtime.ompt import OmptEvent, OmptEventData
+from repro.runtime.openmp import DlbOmptTool, OpenMPRuntime
+
+
+class TestTeamManagement:
+    def test_initial_team_matches_mask(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        assert runtime.max_threads == 8
+        assert runtime.mask == CpuSet.from_range(0, 8)
+        assert not runtime.in_parallel
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            OpenMPRuntime(CpuSet.empty())
+
+    def test_set_num_threads(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        runtime.set_num_threads(4)
+        assert runtime.max_threads == 4
+        with pytest.raises(ValueError):
+            runtime.set_num_threads(0)
+
+    def test_parallel_region_uses_max_threads(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        with runtime.parallel_region() as region:
+            assert region.team_size == 8
+            assert runtime.in_parallel
+            assert runtime.current_team_size == 8
+        assert not runtime.in_parallel
+        assert runtime.regions()[-1].team_size == 8
+
+    def test_parallel_region_with_explicit_num_threads(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        with runtime.parallel_region(num_threads=3) as region:
+            assert region.team_size == 3
+
+    def test_num_threads_clamped_to_max(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4))
+        with runtime.parallel_region(num_threads=100) as region:
+            assert region.team_size == 4
+
+    def test_nested_regions_rejected(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4))
+        with runtime.parallel_region():
+            with pytest.raises(RuntimeError):
+                runtime._begin_region(None)
+
+
+class TestPinning:
+    def test_threads_pinned_to_mask_cpus(self):
+        runtime = OpenMPRuntime(CpuSet([2, 3, 5, 7]))
+        assert runtime.pinning() == {0: 2, 1: 3, 2: 5, 3: 7}
+
+    def test_no_binding_mode(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4), bind_threads=False)
+        assert runtime.pinning() == {}
+
+    def test_rebind_after_mask_change(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4))
+        runtime.apply_mask(CpuSet([8, 9]))
+        assert runtime.pinning() == {0: 8, 1: 9}
+        assert runtime.max_threads == 2
+
+    def test_region_records_pinning(self):
+        runtime = OpenMPRuntime(CpuSet([1, 2]))
+        with runtime.parallel_region():
+            pass
+        assert runtime.regions()[0].pinning == ((0, 1), (1, 2))
+
+
+class TestMalleability:
+    def test_apply_mask_outside_region_is_immediate(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 16))
+        assert runtime.apply_mask(CpuSet.from_range(0, 8)) is True
+        assert runtime.max_threads == 8
+
+    def test_apply_mask_inside_region_is_deferred(self):
+        """OpenMP cannot resize an open team: the change lands at region end
+        (the 'acceptable non-immediate malleability' of Section 3.1)."""
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 16))
+        with runtime.parallel_region() as region:
+            assert runtime.apply_mask(CpuSet.from_range(0, 8)) is False
+            assert runtime.max_threads == 16
+            assert region.team_size == 16
+        assert runtime.max_threads == 8
+        assert runtime.mask == CpuSet.from_range(0, 8)
+
+    def test_apply_empty_mask_rejected(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4))
+        with pytest.raises(ValueError):
+            runtime.apply_mask(CpuSet.empty())
+
+
+class TestOmpt:
+    def test_callbacks_fire_per_construct(self):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 2))
+        events: list[OmptEventData] = []
+        runtime.set_callback(OmptEvent.PARALLEL_BEGIN, events.append)
+        runtime.set_callback(OmptEvent.PARALLEL_END, events.append)
+        runtime.set_callback(OmptEvent.IMPLICIT_TASK_BEGIN, events.append)
+        with runtime.parallel_region():
+            pass
+        names = [e.event for e in events]
+        assert names[0] is OmptEvent.PARALLEL_BEGIN
+        assert names.count(OmptEvent.IMPLICIT_TASK_BEGIN) == 2
+        assert names[-1] is OmptEvent.PARALLEL_END
+
+    def test_single_tool_registration(self, shmem):
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 4))
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 4), environ={})
+        dlb.init()
+        tool = DlbOmptTool(dlb)
+        runtime.register_tool(tool)
+        assert runtime.has_tool
+        with pytest.raises(RuntimeError):
+            runtime.register_tool(DlbOmptTool(dlb))
+        runtime.unregister_tool()
+        assert not runtime.has_tool
+
+    def test_tool_requires_openmp_runtime(self, shmem):
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet([0]), environ={})
+        dlb.init()
+
+        class FakeRuntime:
+            def set_callback(self, *a):  # pragma: no cover - never reached
+                pass
+
+        from repro.runtime.ompt import OmptCapableRuntime
+
+        with pytest.raises(TypeError):
+            DlbOmptTool(dlb).initialize(OmptCapableRuntime())
+
+
+class TestDlbOmptTool:
+    def test_mask_change_applied_at_parallel_begin(self, shmem, admin):
+        """The transparent integration: DROM changes the mask, the next
+        parallel region already runs with the new team size and pinning."""
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 16), environ={})
+        dlb.init()
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 16))
+        tool = DlbOmptTool(dlb)
+        runtime.register_tool(tool)
+
+        with runtime.parallel_region() as region:
+            assert region.team_size == 16
+
+        admin.set_process_mask(1, CpuSet.from_range(0, 6), DromFlags.STEAL)
+
+        with runtime.parallel_region() as region:
+            assert region.team_size == 6
+        assert runtime.mask == CpuSet.from_range(0, 6)
+        assert tool.updates_applied == 1
+        assert set(runtime.pinning().values()) == set(range(6))
+
+    def test_on_update_hook(self, shmem, admin):
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 8), environ={})
+        dlb.init()
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        tool = DlbOmptTool(dlb)
+        seen = []
+        tool.on_update = seen.append
+        runtime.register_tool(tool)
+        admin.set_process_mask(1, CpuSet.from_range(0, 4))
+        with runtime.parallel_region():
+            pass
+        assert seen == [CpuSet.from_range(0, 4)]
+
+    def test_no_update_means_no_action(self, shmem):
+        dlb = DlbProcess(pid=1, shmem=shmem, mask=CpuSet.from_range(0, 8), environ={})
+        dlb.init()
+        runtime = OpenMPRuntime(CpuSet.from_range(0, 8))
+        tool = DlbOmptTool(dlb)
+        runtime.register_tool(tool)
+        with runtime.parallel_region():
+            pass
+        assert tool.updates_applied == 0

@@ -1,0 +1,255 @@
+"""Tests of the analytic performance model primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.perfmodel import (
+    MemoryBandwidthModel,
+    NOMINAL_CYCLES_PER_US,
+    PerformanceProfile,
+    PhaseProfile,
+    StaticPartition,
+    ThreadEfficiency,
+)
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import NodeTopology
+
+
+@pytest.fixture
+def node():
+    return NodeTopology.marenostrum3()
+
+
+def simple_profile(partition=StaticPartition(0), alpha=0.01, numa=0.1, memory=None):
+    return PerformanceProfile(
+        name="test",
+        phases=(
+            PhaseProfile(
+                name="compute",
+                work_fraction=1.0,
+                efficiency=ThreadEfficiency(alpha=alpha, numa_penalty=numa),
+                memory=memory or MemoryBandwidthModel(),
+                base_ipc=1.0,
+                comm_overhead_per_rank=0.05,
+            ),
+        ),
+        partition=partition,
+    )
+
+
+class TestThreadEfficiency:
+    def test_single_thread_is_perfect(self):
+        eff = ThreadEfficiency(alpha=0.05)
+        assert eff.efficiency(1) == 1.0
+
+    def test_efficiency_decreases_with_threads(self):
+        eff = ThreadEfficiency(alpha=0.02)
+        assert eff.efficiency(16) < eff.efficiency(8) < eff.efficiency(2)
+
+    def test_numa_penalty_applies_only_when_spanning(self):
+        eff = ThreadEfficiency(alpha=0.0, numa_penalty=0.2)
+        assert eff.efficiency(8, sockets_spanned=1) == 1.0
+        assert eff.efficiency(8, sockets_spanned=2) == pytest.approx(0.8)
+
+    def test_throughput_monotone_in_threads(self):
+        eff = ThreadEfficiency(alpha=0.02)
+        values = [eff.throughput(n) for n in range(1, 17)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadEfficiency(alpha=-0.1)
+        with pytest.raises(ValueError):
+            ThreadEfficiency(numa_penalty=1.0)
+        with pytest.raises(ValueError):
+            ThreadEfficiency().efficiency(0)
+
+    @given(st.integers(min_value=1, max_value=64), st.floats(min_value=0, max_value=0.2))
+    def test_efficiency_in_unit_interval(self, n, alpha):
+        eff = ThreadEfficiency(alpha=alpha, numa_penalty=0.1)
+        value = eff.efficiency(n, sockets_spanned=2)
+        assert 0.0 < value <= 1.0
+
+
+class TestStaticPartition:
+    def test_no_partition_is_fully_malleable(self):
+        part = StaticPartition(chunks_per_thread=0)
+        assert not part.is_static
+        assert part.rounds(16, 3) == 1
+        assert part.imbalance_factor(16, 3) == 1.0
+
+    def test_even_division_has_no_imbalance(self):
+        part = StaticPartition(chunks_per_thread=4)
+        assert part.imbalance_factor(16, 16) == pytest.approx(1.0)
+        assert part.imbalance_factor(16, 8) == pytest.approx(1.0)
+
+    def test_figure5_case_one_thread_removed(self):
+        """16->15 threads with 4 chunks/thread: 5 rounds instead of ~4.27."""
+        part = StaticPartition(chunks_per_thread=4)
+        assert part.rounds(16, 15) == 5
+        assert part.imbalance_factor(16, 15) == pytest.approx(5 / (64 / 15))
+
+    def test_relative_imbalance_shrinks_with_more_removed_cpus(self):
+        """The paper's Conf. 3 observation: stealing more CPUs distributes the
+        orphaned chunks better, so the *relative* excess over ideal shrinks."""
+        part = StaticPartition(chunks_per_thread=4)
+        assert part.imbalance_factor(16, 12) < part.imbalance_factor(16, 15)
+
+    def test_thread_utilisation_shape(self):
+        part = StaticPartition(chunks_per_thread=4)
+        util = part.thread_utilisation(16, 15)
+        assert len(util) == 15
+        # 64 chunks over 15 threads: 4 threads do 5 chunks, 11 threads do 4.
+        assert util.count(1.0) == 4
+        assert util.count(pytest.approx(0.8)) == 11
+
+    def test_thread_utilisation_full_team_all_busy(self):
+        part = StaticPartition(chunks_per_thread=4)
+        assert part.thread_utilisation(16, 16) == [1.0] * 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticPartition(chunks_per_thread=-1)
+        with pytest.raises(ValueError):
+            StaticPartition(4).rounds(16, 0)
+        with pytest.raises(ValueError):
+            StaticPartition(4).thread_utilisation(16, 0)
+
+    @given(st.integers(1, 8), st.integers(1, 32), st.integers(1, 32))
+    def test_imbalance_at_least_one(self, chunks, initial, current):
+        part = StaticPartition(chunks_per_thread=chunks)
+        assert part.imbalance_factor(initial, current) >= 1.0 - 1e-12
+
+    @given(st.integers(1, 8), st.integers(1, 32), st.integers(1, 32))
+    def test_utilisation_bounded(self, chunks, initial, current):
+        part = StaticPartition(chunks_per_thread=chunks)
+        util = part.thread_utilisation(initial, current)
+        assert len(util) == current
+        assert max(util) == 1.0
+        assert all(0.0 <= u <= 1.0 for u in util)
+
+
+class TestMemoryBandwidthModel:
+    def test_compute_only_phase_has_no_memory_time(self, node):
+        model = MemoryBandwidthModel(traffic_gb_per_work_unit=0.0)
+        assert not model.is_memory_bound
+        assert model.memory_time(100.0, CpuSet.from_range(0, 4), node) == 0.0
+
+    def test_bandwidth_saturates_at_socket_cap(self, node):
+        model = MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=1.0)
+        one_core = model.achievable_bandwidth(CpuSet([0]), node)
+        two_cores = model.achievable_bandwidth(CpuSet([0, 1]), node)
+        four_cores = model.achievable_bandwidth(CpuSet.from_range(0, 4), node)
+        assert one_core == pytest.approx(20.0)
+        assert two_cores == pytest.approx(40.0)
+        assert four_cores == pytest.approx(40.0)  # socket cap reached
+
+    def test_two_sockets_double_the_cap(self, node):
+        model = MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=1.0)
+        assert model.achievable_bandwidth(CpuSet([0, 8]), node) == pytest.approx(40.0)
+        assert model.achievable_bandwidth(CpuSet.from_range(0, 16), node) == pytest.approx(80.0)
+
+    def test_memory_time_scaling(self, node):
+        model = MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=2.0)
+        t = model.memory_time(100.0, CpuSet([0, 1]), node)
+        assert t == pytest.approx(100.0 * 2.0 / 40.0)
+
+    def test_empty_mask_gives_infinite_time(self, node):
+        model = MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=2.0)
+        assert model.achievable_bandwidth(CpuSet.empty(), node) == 0.0
+        assert math.isinf(model.memory_time(1.0, CpuSet.empty(), node))
+
+
+class TestPerformanceProfile:
+    def test_phase_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PerformanceProfile(
+                name="bad",
+                phases=(
+                    PhaseProfile("a", 0.5, ThreadEfficiency()),
+                    PhaseProfile("b", 0.6, ThreadEfficiency()),
+                ),
+            )
+
+    def test_phase_lookup(self):
+        profile = simple_profile()
+        assert profile.phase("compute").name == "compute"
+        with pytest.raises(KeyError):
+            profile.phase("missing")
+
+    def test_iteration_time_decreases_with_more_cpus(self, node):
+        profile = simple_profile()
+        phase = profile.phases[0]
+        t4 = profile.iteration_time(phase, 100, CpuSet.from_range(0, 4), node, 4, 2)
+        t8 = profile.iteration_time(phase, 100, CpuSet.from_range(0, 8), node, 8, 2)
+        assert t8 < t4
+
+    def test_static_partition_penalty_visible(self, node):
+        static = simple_profile(partition=StaticPartition(chunks_per_thread=1))
+        flexible = simple_profile(partition=StaticPartition(chunks_per_thread=0))
+        phase_s, phase_f = static.phases[0], flexible.phases[0]
+        mask = CpuSet.from_range(0, 15)
+        t_static = static.iteration_time(phase_s, 100, mask, node, 16, 2)
+        t_flexible = flexible.iteration_time(phase_f, 100, mask, node, 16, 2)
+        assert t_static > t_flexible
+
+    def test_memory_bound_phase_is_roofline_limited(self, node):
+        memory = MemoryBandwidthModel(per_core_gbs=20.0, traffic_gb_per_work_unit=50.0)
+        profile = simple_profile(memory=memory)
+        phase = profile.phases[0]
+        t2 = profile.iteration_time(phase, 10, CpuSet([0, 1]), node, 2, 2)
+        t8 = profile.iteration_time(phase, 10, CpuSet.from_range(0, 8), node, 8, 2)
+        # Bandwidth saturates the socket at 2 cores: more CPUs do not help.
+        assert t8 == pytest.approx(t2)
+
+    def test_interference_inflates_time(self, node):
+        profile = simple_profile()
+        phase = profile.phases[0]
+        base = profile.iteration_time(phase, 100, CpuSet.from_range(0, 4), node, 4, 2)
+        slowed = profile.iteration_time(
+            phase, 100, CpuSet.from_range(0, 4), node, 4, 2, interference=1.5
+        )
+        assert slowed == pytest.approx(base * 1.5)
+
+    def test_comm_overhead_grows_with_ranks(self, node):
+        profile = simple_profile()
+        phase = profile.phases[0]
+        t2 = profile.iteration_time(phase, 100, CpuSet.from_range(0, 4), node, 4, total_ranks=2)
+        t4 = profile.iteration_time(phase, 100, CpuSet.from_range(0, 4), node, 4, total_ranks=4)
+        assert t4 > t2
+
+    def test_zero_work_takes_zero_time(self, node):
+        profile = simple_profile()
+        assert profile.iteration_time(profile.phases[0], 0.0, CpuSet([0]), node, 1, 2) == 0.0
+
+    def test_empty_mask_takes_infinite_time(self, node):
+        profile = simple_profile()
+        assert math.isinf(
+            profile.iteration_time(profile.phases[0], 1.0, CpuSet.empty(), node, 1, 2)
+        )
+
+    def test_ipc_higher_on_single_socket(self, node):
+        profile = simple_profile(numa=0.3)
+        phase = profile.phases[0]
+        ipc_local = profile.ipc(phase, CpuSet.from_range(0, 8), node, 8)
+        ipc_spanning = profile.ipc(phase, CpuSet.from_range(4, 12), node, 8)
+        assert ipc_local > ipc_spanning
+
+    def test_ipc_of_empty_mask_is_zero(self, node):
+        profile = simple_profile()
+        assert profile.ipc(profile.phases[0], CpuSet.empty(), node, 1) == 0.0
+
+    def test_cycles_per_us_scales_with_busy_fraction(self):
+        profile = simple_profile()
+        assert profile.cycles_per_us(1.0) == NOMINAL_CYCLES_PER_US
+        assert profile.cycles_per_us(0.5) == NOMINAL_CYCLES_PER_US / 2
+        assert profile.cycles_per_us(2.0) == NOMINAL_CYCLES_PER_US
+        assert profile.cycles_per_us(-1.0) == 0.0
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            PhaseProfile("x", 0.0, ThreadEfficiency())

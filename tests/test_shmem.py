@@ -1,0 +1,193 @@
+"""Tests of the DLB node shared memory (registration, stealing, polling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    CpuOwnershipError,
+    ProcessAlreadyRegisteredError,
+    ProcessNotRegisteredError,
+)
+from repro.core.shmem import NodeSharedMemory, ShmemRegistry
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import NodeTopology
+
+
+class TestRegistration:
+    def test_register_and_query(self, shmem):
+        entry = shmem.register(100, CpuSet.from_range(0, 8))
+        assert entry.pid == 100
+        assert entry.current_mask == CpuSet.from_range(0, 8)
+        assert not entry.dirty
+        assert shmem.has(100)
+        assert shmem.pids() == [100]
+        assert len(shmem) == 1
+
+    def test_register_twice_rejected(self, shmem):
+        shmem.register(100, CpuSet.from_range(0, 4))
+        with pytest.raises(ProcessAlreadyRegisteredError):
+            shmem.register(100, CpuSet.from_range(4, 8))
+
+    def test_register_outside_topology_rejected(self, shmem):
+        with pytest.raises(ValueError):
+            shmem.register(100, CpuSet([99]))
+
+    def test_register_empty_mask_rejected(self, shmem):
+        with pytest.raises(ValueError):
+            shmem.register(100, CpuSet.empty())
+
+    def test_overlap_without_steal_rejected(self, shmem):
+        shmem.register(100, CpuSet.from_range(0, 8))
+        with pytest.raises(CpuOwnershipError):
+            shmem.register(200, CpuSet.from_range(4, 12))
+
+    def test_overlap_with_steal_shrinks_victim(self, shmem):
+        shmem.register(100, CpuSet.from_range(0, 16))
+        entry = shmem.register(200, CpuSet.from_range(8, 16), steal=True)
+        assert entry.assigned_mask == CpuSet.from_range(8, 16)
+        victim = shmem.entry(100)
+        assert victim.assigned_mask == CpuSet.from_range(0, 8)
+        assert victim.dirty  # not yet acknowledged
+        assert entry.stolen_from == {100: CpuSet.from_range(8, 16)}
+
+    def test_capacity_limit(self, mn3_node):
+        shmem = NodeSharedMemory(mn3_node, max_processes=2)
+        shmem.register(1, CpuSet([0]))
+        shmem.register(2, CpuSet([1]))
+        with pytest.raises(CpuOwnershipError):
+            shmem.register(3, CpuSet([2]))
+
+    def test_unregister(self, shmem):
+        shmem.register(100, CpuSet([0]))
+        shmem.unregister(100)
+        assert not shmem.has(100)
+        with pytest.raises(ProcessNotRegisteredError):
+            shmem.unregister(100)
+
+    def test_iteration_yields_entries(self, shmem):
+        shmem.register(1, CpuSet([0]))
+        shmem.register(2, CpuSet([1]))
+        assert sorted(e.pid for e in shmem) == [1, 2]
+
+
+class TestMaskManagement:
+    def test_set_mask_marks_dirty_until_poll(self, shmem):
+        shmem.register(100, CpuSet.from_range(0, 16))
+        shmem.set_mask(100, CpuSet.from_range(0, 8))
+        entry = shmem.entry(100)
+        assert entry.dirty
+        assert entry.assigned_mask == CpuSet.from_range(0, 8)
+        assert entry.current_mask == CpuSet.from_range(0, 16)
+        polled = shmem.poll(100)
+        assert polled == CpuSet.from_range(0, 8)
+        assert not shmem.entry(100).dirty
+        assert shmem.entry(100).updates_applied == 1
+
+    def test_poll_without_update_returns_none(self, shmem):
+        shmem.register(100, CpuSet([0]))
+        assert shmem.poll(100) is None
+
+    def test_set_mask_unknown_pid(self, shmem):
+        with pytest.raises(ProcessNotRegisteredError):
+            shmem.set_mask(999, CpuSet([0]))
+
+    def test_set_mask_empty_rejected(self, shmem):
+        shmem.register(100, CpuSet([0]))
+        with pytest.raises(ValueError):
+            shmem.set_mask(100, CpuSet.empty())
+
+    def test_set_mask_steal_from_other(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 8))
+        shmem.register(2, CpuSet.from_range(8, 16))
+        shmem.set_mask(2, CpuSet.from_range(4, 16), steal=True)
+        assert shmem.get_mask(1) == CpuSet.from_range(0, 4)
+        assert shmem.get_mask(2) == CpuSet.from_range(4, 16)
+
+    def test_set_mask_overlap_without_steal_rejected(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 8))
+        shmem.register(2, CpuSet.from_range(8, 16))
+        with pytest.raises(CpuOwnershipError):
+            shmem.set_mask(2, CpuSet.from_range(6, 16))
+
+    def test_busy_free_and_oversubscribed(self, shmem, mn3_node):
+        shmem.register(1, CpuSet.from_range(0, 4))
+        shmem.register(2, CpuSet.from_range(8, 10))
+        assert shmem.busy_mask() == CpuSet.from_range(0, 4) | CpuSet.from_range(8, 10)
+        assert shmem.free_mask() == mn3_node.full_mask() - shmem.busy_mask()
+        assert shmem.oversubscribed_cpus().is_empty()
+
+    def test_return_stolen_restores_owner(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 16))
+        shmem.register(2, CpuSet.from_range(8, 16), steal=True)
+        returned = shmem.return_stolen(2)
+        assert returned == {1: CpuSet.from_range(8, 16)}
+        assert shmem.get_mask(1) == CpuSet.from_range(0, 16)
+        # the thief's mask shrank accordingly — nothing left of the theft
+        assert shmem.entry(2).stolen_from == {}
+
+    def test_return_stolen_skips_gone_owner(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 16))
+        shmem.register(2, CpuSet.from_range(8, 16), steal=True)
+        shmem.unregister(1)
+        assert shmem.return_stolen(2) == {}
+        assert shmem.get_mask(2) == CpuSet.from_range(8, 16)
+
+    def test_no_op_assignment_does_not_mark_dirty(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 4))
+        shmem.set_mask(1, CpuSet.from_range(0, 4))
+        assert not shmem.entry(1).dirty
+
+
+class TestAsyncAndObservers:
+    def test_async_callback_delivers_immediately(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 16))
+        received = []
+        shmem.set_async_callback(1, lambda pid, mask: received.append((pid, mask)))
+        shmem.set_mask(1, CpuSet.from_range(0, 8))
+        assert received == [(1, CpuSet.from_range(0, 8))]
+        # already acknowledged: nothing pending to poll
+        assert not shmem.entry(1).dirty
+        assert shmem.poll(1) is None
+
+    def test_observer_sees_every_assignment(self, shmem):
+        seen = []
+        shmem.add_observer(lambda pid, mask: seen.append((pid, mask.count())))
+        shmem.register(1, CpuSet.from_range(0, 16))
+        shmem.set_mask(1, CpuSet.from_range(0, 8))
+        shmem.register(2, CpuSet.from_range(8, 16), steal=True)
+        # one observation for the explicit set_mask, none for registration
+        # itself (registration is the initial state, not a change), and none
+        # for pid 2 stealing CPUs pid 1 no longer held.
+        assert (1, 8) in seen
+
+    def test_clock_is_used_for_registration_time(self, shmem):
+        shmem.set_clock(lambda: 123.0)
+        entry = shmem.register(1, CpuSet([0]))
+        assert entry.registered_at == 123.0
+
+
+class TestShmemRegistry:
+    def test_create_get(self, mn3_node):
+        registry = ShmemRegistry()
+        shmem = registry.create(mn3_node)
+        assert registry.get(mn3_node.name) is shmem
+        assert mn3_node.name in registry
+        assert len(registry) == 1
+        assert registry.names() == [mn3_node.name]
+
+    def test_create_twice_rejected(self, mn3_node):
+        registry = ShmemRegistry()
+        registry.create(mn3_node)
+        with pytest.raises(ValueError):
+            registry.create(mn3_node)
+
+    def test_get_or_create(self, mn3_node):
+        registry = ShmemRegistry()
+        first = registry.get_or_create(mn3_node)
+        second = registry.get_or_create(mn3_node)
+        assert first is second
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            ShmemRegistry().get("nope")

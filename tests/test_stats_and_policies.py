@@ -1,0 +1,177 @@
+"""Tests of the DROM statistics module and the DROM-aware node policies.
+
+Both features come from the paper's future-work section: collecting run-time
+performance data that the scheduler can consult, and using it to choose
+"victim" nodes with low utilisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProcessNotRegisteredError
+from repro.core.stats import ProcessStats, StatsModule
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import ClusterTopology
+from repro.slurm.jobs import JobSpec
+from repro.slurm.policies import FirstFit, LeastAllocatedFirst, LowestUtilisationFirst
+from repro.slurm.slurmctld import NodeState, Slurmctld
+from repro.workload.runner import DROM, SERIAL, run_both_scenarios
+from repro.workload.workloads import in_situ_workload
+
+
+class TestProcessStats:
+    def test_utilisation_and_efficiency(self):
+        stats = ProcessStats(pid=1, useful_time=80, idle_time=10, mpi_time=10,
+                             cpu_seconds_owned=100)
+        assert stats.utilisation == pytest.approx(0.8)
+        assert stats.parallel_efficiency == pytest.approx(0.8)
+
+    def test_zero_denominators(self):
+        stats = ProcessStats(pid=1)
+        assert stats.utilisation == 0.0
+        assert stats.parallel_efficiency == 0.0
+
+    def test_utilisation_capped_at_one(self):
+        stats = ProcessStats(pid=1, useful_time=200, cpu_seconds_owned=100)
+        assert stats.utilisation == 1.0
+
+
+class TestStatsModule:
+    def test_recording_requires_registration(self, shmem):
+        stats = StatsModule(shmem)
+        with pytest.raises(ProcessNotRegisteredError):
+            stats.record_compute(99, 1.0)
+        with pytest.raises(ProcessNotRegisteredError):
+            stats.process_stats(99)
+
+    def test_accumulation(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 4))
+        stats = StatsModule(shmem)
+        stats.record_compute(1, useful_time=30.0, idle_time=10.0)
+        stats.record_mpi(1, 5.0)
+        stats.record_ownership(1, ncpus=4, seconds=10.0)
+        stats.record_mask_change(1)
+        record = stats.process_stats(1)
+        assert record.useful_time == 30.0
+        assert record.idle_time == 10.0
+        assert record.mpi_time == 5.0
+        assert record.cpu_seconds_owned == 40.0
+        assert record.mask_changes == 1
+        assert record.utilisation == pytest.approx(0.75)
+        assert stats.pids() == [1]
+
+    def test_negative_values_rejected(self, shmem):
+        shmem.register(1, CpuSet([0]))
+        stats = StatsModule(shmem)
+        with pytest.raises(ValueError):
+            stats.record_compute(1, -1.0)
+        with pytest.raises(ValueError):
+            stats.record_mpi(1, -1.0)
+        with pytest.raises(ValueError):
+            stats.record_ownership(1, -1, 1.0)
+
+    def test_node_summary_aggregates(self, shmem):
+        shmem.register(1, CpuSet.from_range(0, 8))
+        shmem.register(2, CpuSet.from_range(8, 16))
+        stats = StatsModule(shmem)
+        stats.record_compute(1, 80.0, 20.0)
+        stats.record_ownership(1, 8, 12.5)       # 100 cpu-seconds
+        stats.record_compute(2, 40.0, 60.0)
+        stats.record_ownership(2, 8, 12.5)
+        summary = stats.node_summary()
+        assert summary.nprocesses == 2
+        assert summary.cpus_owned == 16
+        assert summary.utilisation == pytest.approx((80 + 40) / 200)
+        assert summary.parallel_efficiency == pytest.approx(120 / 200)
+
+    def test_empty_node_summary(self, shmem):
+        summary = StatsModule(shmem).node_summary()
+        assert summary.nprocesses == 0
+        assert summary.utilisation == 0.0
+
+    def test_drop_removes_record(self, shmem):
+        shmem.register(1, CpuSet([0]))
+        stats = StatsModule(shmem)
+        stats.record_compute(1, 1.0)
+        stats.drop(1)
+        assert stats.pids() == []
+
+
+class TestNodeSelectionPolicies:
+    def make_states(self):
+        a = NodeState(name="a", ncpus=16)
+        b = NodeState(name="b", ncpus=16)
+        c = NodeState(name="c", ncpus=16)
+        b.running[1] = (2, 16, True)
+        c.running[2] = (1, 4, True)
+        return [a, b, c]
+
+    def test_first_fit_keeps_order(self):
+        states = self.make_states()
+        assert [s.name for s in FirstFit().order(states)] == ["a", "b", "c"]
+
+    def test_least_allocated_first(self):
+        states = self.make_states()
+        assert [s.name for s in LeastAllocatedFirst().order(states)] == ["a", "c", "b"]
+
+    def test_lowest_utilisation_first_with_mapping(self):
+        states = self.make_states()
+        policy = LowestUtilisationFirst({"a": 0.9, "b": 0.2, "c": 0.6})
+        assert [s.name for s in policy.order(states)] == ["b", "c", "a"]
+
+    def test_lowest_utilisation_unknown_nodes_sort_last(self):
+        states = self.make_states()
+        policy = LowestUtilisationFirst({"b": 0.2})
+        ordered = [s.name for s in policy.order(states)]
+        assert ordered[0] == "b"
+        assert set(ordered[1:]) == {"a", "c"}
+
+    def test_lowest_utilisation_with_callable(self):
+        states = self.make_states()
+        policy = LowestUtilisationFirst(lambda name: {"a": 0.1}.get(name))
+        assert policy.order(states)[0].name == "a"
+
+    def test_policy_plugs_into_slurmctld(self):
+        """With the low-utilisation policy, a one-node job lands on the node
+        whose occupant wastes the most CPU."""
+        cluster = ClusterTopology.marenostrum3(2)
+        utilisation = {"mn3-0": 0.95, "mn3-1": 0.30}
+        ctld = Slurmctld(
+            cluster, drom_enabled=True,
+            node_policy=LowestUtilisationFirst(utilisation),
+        )
+        # Two running one-node jobs, one per node.
+        for _ in range(2):
+            ctld.submit(JobSpec(name="running", nodes=1, ntasks=1, cpus_per_task=16), 0.0)
+        ctld.schedule(0.0)
+        new = ctld.submit(JobSpec(name="new", nodes=1, ntasks=1, cpus_per_task=16), 1.0)
+        decisions = ctld.schedule(1.0)
+        assert decisions[0].job is new
+        assert decisions[0].nodes == ("mn3-1",)  # the badly-utilised node
+
+
+class TestRunnerStatsIntegration:
+    def test_job_stats_collected_per_scenario(self):
+        results = run_both_scenarios(in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2"))
+        for scenario in (SERIAL, DROM):
+            result = results[scenario]
+            assert set(result.job_stats.keys()) == {"NEST Conf. 1", "Pils Conf. 2"}
+            nest_records = result.job_stats["NEST Conf. 1"]
+            assert len(nest_records) == 2  # one per MPI rank
+            for record in nest_records:
+                assert record.cpu_seconds_owned > 0
+                assert 0.0 < record.utilisation <= 1.0
+
+    def test_drom_run_reports_mask_changes_serial_does_not(self):
+        results = run_both_scenarios(in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2"))
+        drom_changes = sum(r.mask_changes for r in results[DROM].job_stats["NEST Conf. 1"])
+        serial_changes = sum(r.mask_changes for r in results[SERIAL].job_stats["NEST Conf. 1"])
+        assert drom_changes >= 2
+        assert serial_changes == 0
+
+    def test_job_utilisation_helper(self):
+        results = run_both_scenarios(in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2"))
+        drom = results[DROM]
+        assert 0.5 <= drom.job_utilisation("NEST Conf. 1") <= 1.0
+        assert drom.job_utilisation("unknown job") == 0.0

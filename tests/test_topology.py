@@ -1,0 +1,103 @@
+"""Tests of node and cluster topology models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpuset.mask import CpuSet
+from repro.cpuset.topology import ClusterTopology, NodeTopology, Socket
+
+
+class TestSocket:
+    def test_valid_socket(self):
+        socket = Socket(index=0, cpus=CpuSet.from_range(0, 8))
+        assert socket.cpus.count() == 8
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Socket(index=-1, cpus=CpuSet([0]))
+
+    def test_empty_socket_rejected(self):
+        with pytest.raises(ValueError):
+            Socket(index=0, cpus=CpuSet.empty())
+
+
+class TestNodeTopology:
+    def test_marenostrum3_shape(self, mn3_node):
+        assert mn3_node.ncpus == 16
+        assert mn3_node.nsockets == 2
+        assert mn3_node.cores_per_socket == 8
+        assert mn3_node.memory_gb == 128.0
+
+    def test_full_mask(self, mn3_node):
+        assert mn3_node.full_mask() == CpuSet.from_range(0, 16)
+
+    def test_socket_of(self, mn3_node):
+        assert mn3_node.socket_of(0).index == 0
+        assert mn3_node.socket_of(8).index == 1
+        with pytest.raises(ValueError):
+            mn3_node.socket_of(99)
+
+    def test_socket_mask(self, mn3_node):
+        assert mn3_node.socket_mask(0) == CpuSet.from_range(0, 8)
+        assert mn3_node.socket_mask(1) == CpuSet.from_range(8, 16)
+
+    def test_sockets_spanned(self, mn3_node):
+        assert mn3_node.sockets_spanned(CpuSet.from_range(0, 4)) == 1
+        assert mn3_node.sockets_spanned(CpuSet.from_range(6, 10)) == 2
+        assert mn3_node.sockets_spanned(CpuSet.empty()) == 0
+
+    def test_validate_mask(self, mn3_node):
+        mn3_node.validate_mask(CpuSet.from_range(0, 16))
+        with pytest.raises(ValueError):
+            mn3_node.validate_mask(CpuSet([16]))
+
+    def test_memory_bandwidth_is_sum_of_sockets(self, mn3_node):
+        assert mn3_node.memory_bandwidth_gbs == pytest.approx(80.0)
+
+    def test_uniform_custom_shape(self):
+        node = NodeTopology.uniform(sockets=4, cores_per_socket=4, memory_gb=64)
+        assert node.ncpus == 16
+        assert node.nsockets == 4
+        assert node.memory_gb == 64
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            NodeTopology.uniform(sockets=0)
+        with pytest.raises(ValueError):
+            NodeTopology.uniform(cores_per_socket=0)
+
+    def test_overlapping_sockets_rejected(self):
+        with pytest.raises(ValueError):
+            NodeTopology(
+                name="bad",
+                sockets=(
+                    Socket(0, CpuSet.from_range(0, 8)),
+                    Socket(1, CpuSet.from_range(4, 12)),
+                ),
+            )
+
+    def test_node_needs_sockets(self):
+        with pytest.raises(ValueError):
+            NodeTopology(name="empty", sockets=())
+
+
+class TestClusterTopology:
+    def test_marenostrum3_cluster(self, mn3_cluster):
+        assert mn3_cluster.nnodes == 2
+        assert mn3_cluster.ncpus == 32
+        assert mn3_cluster.node_names() == ("mn3-0", "mn3-1")
+
+    def test_node_lookup(self, mn3_cluster):
+        assert mn3_cluster.node("mn3-1").name == "mn3-1"
+        with pytest.raises(KeyError):
+            mn3_cluster.node("nope")
+
+    def test_duplicate_node_names_rejected(self):
+        node = NodeTopology.marenostrum3("same")
+        with pytest.raises(ValueError):
+            ClusterTopology(nodes=(node, NodeTopology.marenostrum3("same")))
+
+    def test_cluster_needs_positive_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterTopology.marenostrum3(0)

@@ -1,0 +1,165 @@
+"""Integration tests of the scenario runner (Serial vs DROM end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpuset.distribution import EquipartitionPolicy
+from repro.metrics.collect import relative_improvement
+from repro.workload.runner import DROM, SERIAL, ScenarioRunner, run_both_scenarios
+from repro.workload.workloads import (
+    Workload,
+    WorkloadJob,
+    high_priority_workload,
+    in_situ_workload,
+)
+from repro.workload import configs
+from repro.runtime.process import ThreadModel
+
+
+@pytest.fixture(scope="module")
+def nest_pils_results():
+    """Both scenarios of the NEST Conf. 1 + Pils Conf. 2 workload (shared)."""
+    return run_both_scenarios(in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2"))
+
+
+class TestSerialScenario:
+    def test_analytics_waits_for_simulation(self, nest_pils_results):
+        serial = nest_pils_results[SERIAL]
+        waits = serial.metrics.wait_times()
+        assert waits["NEST Conf. 1"] == 0.0
+        assert waits["Pils Conf. 2"] > 0.0
+        # the analytics starts exactly when the simulation ends
+        nest = serial.metrics.job("NEST Conf. 1")
+        pils = serial.metrics.job("Pils Conf. 2")
+        assert pils.start_time == pytest.approx(nest.end_time)
+
+    def test_total_run_time_is_sum_of_phases(self, nest_pils_results):
+        serial = nest_pils_results[SERIAL]
+        nest = serial.metrics.job("NEST Conf. 1")
+        pils = serial.metrics.job("Pils Conf. 2")
+        assert serial.metrics.total_run_time == pytest.approx(
+            nest.run_time + pils.run_time, rel=1e-6
+        )
+
+    def test_scenario_labels(self, nest_pils_results):
+        assert nest_pils_results[SERIAL].scenario == SERIAL
+        assert nest_pils_results[DROM].scenario == DROM
+
+
+class TestDromScenario:
+    def test_analytics_starts_immediately(self, nest_pils_results):
+        drom = nest_pils_results[DROM]
+        assert drom.metrics.wait_times()["Pils Conf. 2"] == 0.0
+
+    def test_simulation_shrinks_and_expands(self, nest_pils_results):
+        drom = nest_pils_results[DROM]
+        changes = drom.tracer.mask_changes("NEST Conf. 1")
+        assert len(changes) >= 2  # shrink at co-allocation, expand at release
+        counts = [c.new_threads for c in changes]
+        assert min(counts) == 15  # one CPU per node went to Pils Conf. 2
+        assert max(counts) == 16  # and came back afterwards
+
+    def test_oversubscription_limited_to_polling_latency(self, nest_pils_results):
+        """The running job keeps its old mask until it polls DROM, so a short
+        transient overlap right after a mask change is expected — but it must
+        stay confined to that polling latency (a tiny fraction of the run) and
+        never occur in steady state."""
+        drom = nest_pils_results[DROM]
+        events = [
+            (step.start, step.end, step.node, step.nthreads, step.job, step.rank)
+            for step in drom.tracer
+        ]
+        change_times = [c.time for c in drom.tracer.mask_changes()]
+        boundaries = sorted({e[0] for e in events})
+        oversubscribed_time = 0.0
+        for i, t in enumerate(boundaries):
+            horizon = boundaries[i + 1] if i + 1 < len(boundaries) else drom.end_time
+            per_node: dict[str, int] = {}
+            seen: set[tuple[str, int]] = set()
+            for start, end, node, nthreads, job, rank in events:
+                if start <= t < end and (job, rank) not in seen:
+                    seen.add((job, rank))
+                    per_node[node] = per_node.get(node, 0) + nthreads
+            for node, total in per_node.items():
+                if total > 16:
+                    # must be explained by a pending mask change nearby
+                    assert any(t - 60.0 <= c <= t + 60.0 for c in change_times), (
+                        f"unexplained oversubscription at t={t} on {node}"
+                    )
+                    oversubscribed_time += horizon - t
+        assert oversubscribed_time <= 0.03 * drom.metrics.total_run_time
+
+    def test_drom_beats_serial_on_total_run_time(self, nest_pils_results):
+        serial, drom = nest_pils_results[SERIAL], nest_pils_results[DROM]
+        assert drom.metrics.total_run_time < serial.metrics.total_run_time
+
+    def test_drom_beats_serial_on_average_response(self, nest_pils_results):
+        serial, drom = nest_pils_results[SERIAL], nest_pils_results[DROM]
+        gain = relative_improvement(
+            serial.metrics.average_response_time, drom.metrics.average_response_time
+        )
+        assert gain > 0.30
+
+    def test_end_time_matches_metrics(self, nest_pils_results):
+        drom = nest_pils_results[DROM]
+        assert drom.end_time == pytest.approx(drom.metrics.makespan_end)
+
+    def test_job_lookup_by_label(self, nest_pils_results):
+        drom = nest_pils_results[DROM]
+        assert drom.job("NEST Conf. 1").spec.name == "NEST Conf. 1"
+
+
+class TestRunnerVariants:
+    def test_single_job_workload_runs_identically_in_both_scenarios(self):
+        """With no co-allocation the DROM machinery adds no overhead (the
+        paper: 'We didn't find any visible overhead between them')."""
+        workload = Workload(
+            name="solo NEST",
+            jobs=(WorkloadJob(app=configs.nest("Conf. 1"), submit_time=0.0),),
+        )
+        results = run_both_scenarios(workload)
+        assert results[SERIAL].metrics.total_run_time == pytest.approx(
+            results[DROM].metrics.total_run_time, rel=1e-9
+        )
+
+    def test_custom_policy_is_accepted(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "STREAM", "Conf. 1")
+        runner = ScenarioRunner(True, policy=EquipartitionPolicy())
+        result = runner.run(workload)
+        assert result.metrics.total_run_time > 0
+
+    def test_interference_hook_slows_co_run(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2")
+        plain = ScenarioRunner(True).run(workload)
+        slowed = ScenarioRunner(
+            True, interference=lambda job, node, others: 1.5 if others else 1.0
+        ).run(workload)
+        assert slowed.metrics.total_run_time > plain.metrics.total_run_time
+
+    def test_ompss_thread_model_used_for_pils(self, nest_pils_results):
+        workload = nest_pils_results[DROM].workload
+        assert workload.jobs[1].thread_model is ThreadModel.OMPSS
+
+    def test_trace_can_be_disabled(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "STREAM", "Conf. 1")
+        result = ScenarioRunner(True).run(workload, trace=False)
+        assert len(result.tracer) == 0
+        assert result.metrics.total_run_time > 0
+
+
+class TestUseCase2Workload:
+    def test_high_priority_job_structure(self):
+        workload = high_priority_workload()
+        assert workload.jobs[0].label == "NEST Conf. 1"
+        assert workload.jobs[1].label == "CoreNeuron Conf. 1"
+        assert workload.jobs[1].priority > workload.jobs[0].priority
+
+    def test_coreneuron_expands_after_nest_ends(self):
+        results = run_both_scenarios(high_priority_workload())
+        drom = results[DROM]
+        changes = drom.tracer.mask_changes("CoreNeuron Conf. 1")
+        assert any(c.new_threads == 16 for c in changes)
+        nest_end = drom.metrics.job("NEST Conf. 1").end_time
+        expansion_times = [c.time for c in changes if c.new_threads == 16]
+        assert min(expansion_times) >= nest_end
