@@ -14,6 +14,12 @@ the end-to-end metrics never get worse with the paper's policy.
 from __future__ import annotations
 
 from repro.apps import nest_profile
+from repro.campaign import (
+    CampaignSpec,
+    HighPriorityWorkloadRef,
+    PolicyRef,
+    run_campaign,
+)
 from repro.cpuset.distribution import (
     EquipartitionPolicy,
     JobShare,
@@ -21,8 +27,7 @@ from repro.cpuset.distribution import (
 )
 from repro.cpuset.topology import NodeTopology
 from repro.experiments.tables import render_table
-from repro.workload.runner import ScenarioRunner
-from repro.workload.workloads import high_priority_workload
+from repro.workload.runner import DROM
 
 
 def evaluate_policies():
@@ -53,16 +58,25 @@ def evaluate_policies():
         summary[label] = {"spanned": spanned, "ipc": ipc, "step_time": step_time}
 
     # End-to-end sanity: on the two-full-jobs workload the policies coincide,
-    # so the paper's policy never regresses the workload metrics.
-    workload = high_priority_workload()
+    # so the paper's policy never regresses the workload metrics.  The policy
+    # axis of the campaign grid runs both variants in one sweep.
+    policy_labels = {
+        "socket": "socket-aware equipartition (paper)",
+        "equipartition": "plain contiguous equipartition",
+    }
+    campaign = run_campaign(
+        CampaignSpec(
+            name="ablation-distribution-policy",
+            workloads=(HighPriorityWorkloadRef(),),
+            scenarios=(DROM,),
+            policies=(PolicyRef("socket"), PolicyRef("equipartition")),
+        )
+    )
     e2e_rows = []
-    for label, policy in (
-        ("socket-aware equipartition (paper)", SocketAwareEquipartition()),
-        ("plain contiguous equipartition", EquipartitionPolicy()),
-    ):
-        result = ScenarioRunner(True, policy=policy).run(workload, trace=False)
-        summary[label]["total_run_time"] = result.metrics.total_run_time
-        e2e_rows.append((label, f"{result.metrics.total_run_time:.0f}"))
+    for row in campaign.rows:
+        label = policy_labels[row.run.policy.name]
+        summary[label]["total_run_time"] = row.total_run_time
+        e2e_rows.append((label, f"{row.total_run_time:.0f}"))
     return placement_rows, e2e_rows, summary
 
 

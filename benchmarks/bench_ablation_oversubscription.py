@@ -3,56 +3,49 @@
 Section 2 argues against the prior approach of simply re-mapping CPUSETs
 without involving the programming model: the running application keeps all
 its threads, so co-allocation oversubscribes CPUs and degrades performance.
-This benchmark reproduces that comparison: the same co-allocation is run with
-a malleable NEST (DROM shrinks its thread team) and with a non-malleable NEST
-(its threads keep running on CPUs now shared with the analytics job).
+This benchmark reproduces that comparison through the campaign API: the same
+co-allocation is run with a malleable NEST (DROM shrinks its thread team) and
+with a non-malleable NEST whose shared steps pay an interference slow-down
+(the time-sharing cost the paper cites from the DJSB study).
 """
 
 from __future__ import annotations
 
-from repro.apps import nest_model
+from repro.campaign import InSituWorkloadRef, RunSpec, execute_run, summarise_run
 from repro.experiments.tables import render_table
-from repro.runtime.process import ThreadModel
-from repro.workload import configs
-from repro.workload.runner import ScenarioRunner
-from repro.workload.workloads import Workload, WorkloadJob
+from repro.workload.runner import DROM
 
-
-def build_workload(malleable: bool) -> Workload:
-    nest_app = configs.ConfiguredApp(
-        app_name="NEST",
-        config=configs.NEST_CONFIGS["Conf. 1"],
-        model=nest_model(malleable=malleable),
-    )
-    return Workload(
-        name=f"NEST(malleable={malleable}) + Pils Conf. 1",
-        jobs=(
-            WorkloadJob(app=nest_app, submit_time=0.0, name="NEST Conf. 1"),
-            WorkloadJob(app=configs.pils("Conf. 1"), submit_time=120.0,
-                        thread_model=ThreadModel.OMPSS, name="Pils Conf. 1"),
-        ),
-    )
-
-
-def oversubscription_interference(job: str, node: str, co_runners: list[str]) -> float:
-    """Model of the cost of oversubscribed CPUs: when the non-malleable
-    simulator shares its CPUs with another job, both time-share the cores
-    (the effect the paper cites from the DJSB study)."""
-    return 1.6 if co_runners else 1.0
+#: Slow-down of a step executed while the node's CPUs are time-shared.
+OVERSUBSCRIPTION_FACTOR = 1.6
 
 
 def run_variants():
-    out = {}
-    # DROM path: the simulator is malleable, no oversubscription, no penalty.
-    drom_result = ScenarioRunner(True).run(build_workload(malleable=True))
-    out["DROM (shrink via DLB)"] = drom_result.metrics.total_run_time
-    # CPUSET-only path: the simulator does not react; while sharing the node
-    # the oversubscribed CPUs time-share between the two applications.
-    oversub_result = ScenarioRunner(
-        True, interference=oversubscription_interference
-    ).run(build_workload(malleable=False))
-    out["CPUSET oversubscription (no DLB)"] = oversub_result.metrics.total_run_time
-    return out
+    base = dict(
+        simulator="NEST",
+        simulator_config="Conf. 1",
+        analytics="Pils",
+        analytics_config="Conf. 1",
+    )
+    runs = {
+        # DROM path: the simulator is malleable, no oversubscription, no penalty.
+        "DROM (shrink via DLB)": RunSpec(
+            index=0, scenario=DROM, workload=InSituWorkloadRef(**base)
+        ),
+        # CPUSET-only path: the simulator does not react; while sharing the
+        # node the oversubscribed CPUs time-share between the applications.
+        "CPUSET oversubscription (no DLB)": RunSpec(
+            index=1,
+            scenario=DROM,
+            workload=InSituWorkloadRef(
+                **base, simulator_kwargs=(("malleable", False),)
+            ),
+            interference_factor=OVERSUBSCRIPTION_FACTOR,
+        ),
+    }
+    return {
+        label: summarise_run(run, execute_run(run)).total_run_time
+        for label, run in runs.items()
+    }
 
 
 def test_ablation_oversubscription(benchmark, report):

@@ -3,53 +3,55 @@
 Section 6.1 attributes the residual DROM overhead to NEST's static data
 partition and notes that "a fully malleable NEST version that doesn't
 partition data according to initial number of threads would improve this
-result".  This benchmark quantifies exactly that: the same NEST + Pils
-workload is run with the default (statically partitioned) NEST and with a
-fully malleable variant (``chunks_per_thread=0``).
+result".  This benchmark quantifies exactly that through one campaign grid:
+the same NEST + Pils workload with the default (statically partitioned) NEST
+and with a fully malleable variant (``chunks_per_thread=0``), each under both
+scenarios.
 """
 
 from __future__ import annotations
 
-from repro.apps import nest_model
+from repro.campaign import CampaignSpec, InSituWorkloadRef, run_campaign
 from repro.experiments.tables import render_table
 from repro.metrics.collect import relative_improvement
-from repro.runtime.process import ThreadModel
-from repro.workload import configs
-from repro.workload.runner import run_both_scenarios
-from repro.workload.workloads import Workload, WorkloadJob
+from repro.workload.runner import DROM, SERIAL
+
+VARIANTS = (
+    ("static partition (real NEST)", 4),
+    ("fully malleable NEST", 0),
+)
 
 
-def build_workload(chunks_per_thread: int) -> Workload:
-    nest_app = configs.ConfiguredApp(
-        app_name="NEST",
-        config=configs.NEST_CONFIGS["Conf. 1"],
-        model=nest_model(chunks_per_thread=chunks_per_thread),
-    )
-    pils_app = configs.pils("Conf. 2")
-    return Workload(
-        name=f"NEST(chunks={chunks_per_thread}) + Pils Conf. 2",
-        jobs=(
-            WorkloadJob(app=nest_app, submit_time=0.0, name="NEST Conf. 1"),
-            WorkloadJob(app=pils_app, submit_time=120.0, thread_model=ThreadModel.OMPSS,
-                        name="Pils Conf. 2"),
-        ),
+def build_ref(chunks_per_thread: int) -> InSituWorkloadRef:
+    return InSituWorkloadRef(
+        simulator="NEST",
+        simulator_config="Conf. 1",
+        analytics="Pils",
+        analytics_config="Conf. 2",
+        simulator_kwargs=(("chunks_per_thread", chunks_per_thread),),
     )
 
 
 def run_variants():
+    refs = {label: build_ref(chunks) for label, chunks in VARIANTS}
+    campaign = run_campaign(
+        CampaignSpec(
+            name="ablation-static-partition",
+            workloads=tuple(refs.values()),
+            scenarios=(SERIAL, DROM),
+        )
+    )
+    cells = {cell[SERIAL].run.workload: cell for cell in campaign.scenario_pairs()}
     out = {}
-    for label, chunks in (("static partition (real NEST)", 4), ("fully malleable NEST", 0)):
-        results = run_both_scenarios(build_workload(chunks))
-        serial, drom = results["serial"], results["drom"]
+    for label, ref in refs.items():
+        serial, drom = cells[ref][SERIAL], cells[ref][DROM]
         out[label] = {
-            "serial": serial.metrics.total_run_time,
-            "drom": drom.metrics.total_run_time,
-            "gain": relative_improvement(
-                serial.metrics.total_run_time, drom.metrics.total_run_time
-            ),
+            "serial": serial.total_run_time,
+            "drom": drom.total_run_time,
+            "gain": relative_improvement(serial.total_run_time, drom.total_run_time),
             "nest_penalty": (
-                drom.metrics.job("NEST Conf. 1").response_time
-                / serial.metrics.job("NEST Conf. 1").response_time
+                drom.response_time("NEST Conf. 1")
+                / serial.response_time("NEST Conf. 1")
                 - 1.0
             ),
         }

@@ -1,0 +1,66 @@
+"""Campaign sweep — a parallel many-scenario study beyond the paper's setup.
+
+The paper evaluates DROM with a handful of hand-written two-job workloads on
+two MN3 nodes.  This benchmark exercises the campaign subsystem at the scale
+the ROADMAP asks for: 20 runs (5 seeded synthetic workloads × Serial/DROM ×
+two cluster shapes, including a 4-node MN3 partition and a 6-node generic
+one), executed through a ``multiprocessing`` worker pool, with a determinism
+check that the pooled execution reproduces the serial one byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import (
+    CampaignSpec,
+    ClusterRef,
+    SyntheticWorkloadRef,
+    run_campaign,
+)
+from repro.workload.generator import WorkloadSpec
+from repro.workload.runner import DROM, SERIAL
+
+#: Generator family: 3-job workloads with Poisson arrivals, scaled down so a
+#: 20-run sweep stays benchmark-sized.
+SWEEP_WORKLOADS = WorkloadSpec(
+    njobs=3,
+    mean_interarrival=90.0,
+    work_scale=0.05,
+    iterations=20,
+    name="sweep",
+)
+
+
+def build_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="campaign-sweep",
+        workloads=tuple(
+            SyntheticWorkloadRef(spec=SWEEP_WORKLOADS, seed=seed) for seed in range(5)
+        ),
+        scenarios=(SERIAL, DROM),
+        clusters=(
+            ClusterRef(nnodes=4, kind="mn3"),
+            ClusterRef(nnodes=6, kind="uniform"),
+        ),
+    )
+
+
+def test_campaign_sweep(benchmark, report):
+    spec = build_spec()
+    workers = min(4, os.cpu_count() or 1)
+    # Only the pooled sweep is timed; the serial baseline runs once, outside
+    # the timed region, purely for the determinism check below.
+    pooled = benchmark(run_campaign, spec, workers=workers)
+    serial = run_campaign(spec, workers=1)
+    assert spec.nruns >= 20
+    assert max(c.nnodes for c in spec.clusters) >= 4
+    # Determinism: the pooled execution reproduces the in-process one exactly.
+    assert pooled.rows == serial.rows
+    assert pooled.to_table() == serial.to_table()
+
+    text = (
+        f"{spec.nruns} runs on {workers} workers "
+        f"(identical to the 1-worker execution):\n\n" + pooled.to_table()
+    )
+    report("campaign_sweep", text)

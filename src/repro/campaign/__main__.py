@@ -1,0 +1,145 @@
+"""``python -m repro.campaign`` — run a synthetic scenario sweep.
+
+Generates a family of seeded synthetic workloads, expands the
+scenario × workload (× policy) grid into runs, executes them on a process
+pool and prints the aggregated metrics table plus a Serial-vs-DROM summary.
+
+Example::
+
+    python -m repro.campaign --workloads 5 --njobs 3 --nnodes 4 \\
+        --workers 4 --work-scale 0.05 --iterations 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import (
+    POLICY_REGISTRY,
+    CampaignSpec,
+    ClusterRef,
+    PolicyRef,
+    SyntheticWorkloadRef,
+)
+from repro.workload.generator import POISSON, UNIFORM, WorkloadSpec
+from repro.workload.runner import DROM, SERIAL
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a parallel Serial-vs-DROM scenario sweep.",
+    )
+    sweep = parser.add_argument_group("sweep")
+    sweep.add_argument("--workloads", type=int, default=5,
+                       help="number of synthetic workloads to draw (default 5)")
+    sweep.add_argument("--scenarios", default=f"{SERIAL},{DROM}",
+                       help="comma-separated scenarios (default serial,drom)")
+    sweep.add_argument("--policies", default="",
+                       help="comma-separated mask-distribution policies "
+                            f"({','.join(sorted(POLICY_REGISTRY))}); "
+                            "empty = the paper's default")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed for workload generation: workload i "
+                            "uses seed+i (default 0)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1 = in-process)")
+
+    cluster = parser.add_argument_group("cluster")
+    cluster.add_argument("--nnodes", type=int, default=4,
+                         help="nodes in the partition (default 4)")
+    cluster.add_argument("--sockets", type=int, default=2,
+                         help="sockets per node (default 2, MN3-like)")
+    cluster.add_argument("--cores-per-socket", type=int, default=8,
+                         help="cores per socket (default 8, MN3-like)")
+
+    workload = parser.add_argument_group("workload generation")
+    workload.add_argument("--njobs", type=int, default=3,
+                          help="jobs per synthetic workload (default 3)")
+    workload.add_argument("--arrival", choices=(POISSON, UNIFORM), default=POISSON,
+                          help="arrival process (default poisson)")
+    workload.add_argument("--mean-interarrival", type=float, default=120.0,
+                          help="mean seconds between submissions (default 120)")
+    workload.add_argument("--nodes-per-job", type=int, default=2,
+                          help="nodes each job requests (default 2)")
+    workload.add_argument("--work-scale", type=float, default=0.05,
+                          help="scale on each app's nominal work (default 0.05)")
+    workload.add_argument("--iterations", type=int, default=20,
+                          help="malleability points per rank (default 20)")
+    return parser
+
+
+def build_spec(args: argparse.Namespace) -> CampaignSpec:
+    workload_spec = WorkloadSpec(
+        njobs=args.njobs,
+        arrival=args.arrival,
+        mean_interarrival=args.mean_interarrival,
+        nodes=args.nodes_per_job,
+        work_scale=args.work_scale,
+        iterations=args.iterations,
+    )
+    workloads = tuple(
+        SyntheticWorkloadRef(spec=workload_spec, seed=args.seed + i)
+        for i in range(args.workloads)
+    )
+    scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+    policies: tuple[PolicyRef | None, ...]
+    if args.policies.strip():
+        policies = tuple(
+            PolicyRef(p.strip()) for p in args.policies.split(",") if p.strip()
+        )
+    else:
+        policies = (None,)
+    return CampaignSpec(
+        name="cli-sweep",
+        workloads=workloads,
+        scenarios=scenarios,
+        clusters=(
+            ClusterRef(
+                nnodes=args.nnodes,
+                kind="uniform",
+                sockets=args.sockets,
+                cores_per_socket=args.cores_per_socket,
+            ),
+        ),
+        policies=policies,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = build_spec(args)
+    print(
+        f"campaign {spec.name!r}: {spec.nruns} runs "
+        f"({len(spec.workloads)} workloads x {len(spec.scenarios)} scenarios "
+        f"x {len(spec.policies)} policies) on {args.workers} worker(s)"
+    )
+    result = run_campaign(spec, workers=args.workers)
+    print(result.to_table())
+
+    by_scenario = result.by_scenario()
+    if SERIAL in by_scenario and DROM in by_scenario:
+        pairs = [
+            (cell[SERIAL], cell[DROM])
+            for cell in result.scenario_pairs()
+            if SERIAL in cell and DROM in cell
+        ]
+        if pairs:
+            gains = [
+                (s.average_response_time - d.average_response_time)
+                / s.average_response_time
+                for s, d in pairs
+                if s.average_response_time > 0
+            ]
+            mean_gain = sum(gains) / len(gains) if gains else 0.0
+            print(
+                f"\nDROM vs Serial over {len(pairs)} workload cells: "
+                f"mean average-response-time gain {100 * mean_gain:+.1f}%"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Campaign execution: expand, run (serially or in a worker pool), aggregate.
+
+The execution contract that everything else leans on:
+
+* :func:`execute_run` is a **pure function** of a :class:`RunSpec` — it
+  rebuilds the workload, cluster and policy from their declarative references
+  and runs one fresh :class:`~repro.workload.runner.ScenarioRunner` on a fresh
+  discrete-event engine.  No state leaks between runs.
+* :func:`run_campaign` executes the expanded run list either in-process
+  (``workers=1``) or on a ``multiprocessing`` pool, and aggregates the compact
+  per-run metrics in **run-index order**.  Because each run is pure and the
+  aggregation order is fixed, a fixed-seed campaign produces byte-identical
+  aggregated metrics no matter how many workers executed it.
+
+Experiments that need the full :class:`ScenarioResult` (tracers for the
+figure reproductions) call :func:`execute_run` / :func:`run_scenario_pair`
+directly instead of going through the compact aggregation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignSpec, RunSpec, WorkloadRef
+from repro.workload.runner import DROM, SERIAL, ScenarioResult, ScenarioRunner
+
+
+def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
+    """Execute one campaign run and return the full scenario result."""
+    workload = run.workload.build()
+    interference = None
+    if run.interference_factor is not None:
+        factor = run.interference_factor
+
+        def interference(job: str, node: str, co_runners: list[str]) -> float:
+            return factor if co_runners else 1.0
+
+    runner = ScenarioRunner(
+        drom_enabled=run.scenario == DROM,
+        cluster=run.cluster.build(),
+        policy=run.policy.build() if run.policy is not None else None,
+        interference=interference,
+    )
+    return runner.run(workload, trace=trace)
+
+
+def run_scenario_pair(
+    workload: WorkloadRef, trace: bool = True, **run_kwargs
+) -> dict[str, ScenarioResult]:
+    """Serial and DROM full results of one workload (the experiments' idiom)."""
+    return {
+        scenario: execute_run(
+            RunSpec(index=i, scenario=scenario, workload=workload, **run_kwargs),
+            trace=trace,
+        )
+        for i, scenario in enumerate((SERIAL, DROM))
+    }
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Compact, picklable summary of one run (what the pool ships back)."""
+
+    run: RunSpec
+    workload_name: str
+    total_run_time: float
+    average_response_time: float
+    makespan_end: float
+    #: Per-job (label, value) pairs, in job order — tuples keep the record
+    #: hashable and deterministic to serialise.
+    response_times: tuple[tuple[str, float], ...]
+    wait_times: tuple[tuple[str, float], ...]
+    run_times: tuple[tuple[str, float], ...]
+    job_utilisation: tuple[tuple[str, float], ...]
+
+    @property
+    def run_id(self) -> str:
+        return self.run.run_id
+
+    @property
+    def scenario(self) -> str:
+        return self.run.scenario
+
+    def response_time(self, job: str) -> float:
+        return dict(self.response_times)[job]
+
+
+def summarise_run(run: RunSpec, result: ScenarioResult) -> RunMetrics:
+    """Compact a full scenario result into its campaign row."""
+    metrics = result.metrics
+    labels = [j.name for j in metrics.jobs]
+    return RunMetrics(
+        run=run,
+        workload_name=result.workload.name,
+        total_run_time=metrics.total_run_time,
+        average_response_time=metrics.average_response_time,
+        makespan_end=metrics.makespan_end,
+        response_times=tuple((l, metrics.job(l).response_time) for l in labels),
+        wait_times=tuple((l, metrics.job(l).wait_time) for l in labels),
+        run_times=tuple((l, metrics.job(l).run_time) for l in labels),
+        job_utilisation=tuple((l, result.job_utilisation(l)) for l in labels),
+    )
+
+
+def _execute_and_summarise(run: RunSpec) -> RunMetrics:
+    """Pool worker entry point (module-level so it pickles)."""
+    return summarise_run(run, execute_run(run, trace=False))
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All rows of a finished campaign, in run-index order."""
+
+    name: str
+    rows: tuple[RunMetrics, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def by_scenario(self) -> dict[str, list[RunMetrics]]:
+        out: dict[str, list[RunMetrics]] = {}
+        for row in self.rows:
+            out.setdefault(row.scenario, []).append(row)
+        return out
+
+    def scenario_pairs(self) -> list[dict[str, RunMetrics]]:
+        """Group rows by grid cell (the consecutive scenario block).
+
+        Returns one ``{scenario: row}`` dict per cell, in grid order — the
+        shape the Serial-vs-DROM comparisons consume.  Grouping follows the
+        expansion order (scenarios are innermost, so each cell is one
+        consecutive block of rows), which keeps repeated workload references
+        in the grid as distinct cells.
+        """
+        cells: list[dict[str, RunMetrics]] = []
+        current: dict[str, RunMetrics] = {}
+        for row in self.rows:
+            if row.scenario in current:
+                cells.append(current)
+                current = {}
+            current[row.scenario] = row
+        if current:
+            cells.append(current)
+        return cells
+
+    def to_table(self) -> str:
+        """Render the aggregated metrics as one comparable fixed-width table."""
+        from repro.experiments.tables import render_table
+
+        rows = [
+            (
+                f"{m.run.index:04d}",
+                m.scenario,
+                m.workload_name,
+                m.run.cluster.label,
+                m.run.policy.name if m.run.policy is not None else "default",
+                f"{m.total_run_time:.3f}",
+                f"{m.average_response_time:.3f}",
+                f"{m.makespan_end:.3f}",
+            )
+            for m in self.rows
+        ]
+        return render_table(
+            [
+                "Run",
+                "Scenario",
+                "Workload",
+                "Cluster",
+                "Policy",
+                "Total run time (s)",
+                "Avg response (s)",
+                "Makespan end (s)",
+            ],
+            rows,
+        )
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+    """Execute every run of ``spec`` and aggregate the metrics.
+
+    ``workers=1`` executes in-process; ``workers>1`` fans the runs out over a
+    ``multiprocessing`` pool.  Both paths return identical results for the
+    same spec: each run is a pure function of its :class:`RunSpec` and rows
+    are aggregated in run-index order regardless of completion order.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    runs = spec.expand()
+    if workers == 1:
+        rows = [_execute_and_summarise(run) for run in runs]
+    else:
+        # chunksize=1 keeps the work spread even when run times are skewed;
+        # Pool.map returns results in submission order, preserving run order.
+        with multiprocessing.Pool(processes=min(workers, len(runs))) as pool:
+            rows = pool.map(_execute_and_summarise, runs, chunksize=1)
+    return CampaignResult(name=spec.name, rows=tuple(rows))

@@ -1,0 +1,252 @@
+"""Declarative campaign specifications.
+
+A campaign is a grid — scenario × workload × policy × cluster — expanded into
+individually executable :class:`RunSpec` entries.  Everything here is a plain
+frozen dataclass of primitive values: a run spec must cross process
+boundaries (the campaign runner pickles it into a ``multiprocessing`` worker
+pool) and must rebuild *exactly* the same simulation on the other side, which
+is what makes fixed-seed campaigns byte-identical whether they execute
+serially or across N workers.
+
+Live objects (``Workload``, ``ClusterTopology``, ``DistributionPolicy``) are
+therefore never stored; each reference knows how to ``build()`` its object in
+whichever process executes the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.cpuset.distribution import (
+    DistributionPolicy,
+    EquipartitionPolicy,
+    PackedPolicy,
+    ProportionalPolicy,
+    SocketAwareEquipartition,
+)
+from repro.cpuset.topology import ClusterTopology
+from repro.workload.generator import WorkloadSpec, generate_workload
+from repro.workload.runner import DROM, SERIAL
+from repro.workload.workloads import (
+    Workload,
+    high_priority_workload,
+    in_situ_workload,
+)
+
+#: Policy registry: short names usable in specs and on the CLI.
+POLICY_REGISTRY: dict[str, type[DistributionPolicy]] = {
+    "socket": SocketAwareEquipartition,
+    "equipartition": EquipartitionPolicy,
+    "proportional": ProportionalPolicy,
+    "packed": PackedPolicy,
+}
+
+
+@dataclass(frozen=True)
+class ClusterRef:
+    """Reference to a cluster topology, buildable in any process.
+
+    ``kind="mn3"`` builds ``nnodes`` MareNostrum III nodes (the paper's
+    hardware); ``kind="uniform"`` builds ``nnodes`` × ``sockets`` ×
+    ``cores_per_socket`` generic nodes.
+    """
+
+    nnodes: int = 2
+    kind: str = "mn3"
+    sockets: int = 2
+    cores_per_socket: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mn3", "uniform"):
+            raise ValueError(f"unknown cluster kind {self.kind!r}")
+        if self.nnodes <= 0:
+            raise ValueError("nnodes must be positive")
+
+    def build(self) -> ClusterTopology:
+        if self.kind == "mn3":
+            return ClusterTopology.marenostrum3(self.nnodes)
+        return ClusterTopology.uniform(
+            self.nnodes, sockets=self.sockets, cores_per_socket=self.cores_per_socket
+        )
+
+    @property
+    def label(self) -> str:
+        if self.kind == "mn3":
+            return f"mn3x{self.nnodes}"
+        return f"{self.kind}{self.nnodes}x{self.sockets}x{self.cores_per_socket}"
+
+
+@dataclass(frozen=True)
+class PolicyRef:
+    """Reference to a mask-distribution policy by registry name."""
+
+    name: str = "socket"
+
+    def __post_init__(self) -> None:
+        if self.name not in POLICY_REGISTRY:
+            raise ValueError(
+                f"unknown policy {self.name!r}; choose from {sorted(POLICY_REGISTRY)}"
+            )
+
+    def build(self) -> DistributionPolicy:
+        return POLICY_REGISTRY[self.name]()
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadRef:
+    """A workload drawn from the synthetic generator with a fixed seed."""
+
+    spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seed: int = 0
+
+    def build(self) -> Workload:
+        return generate_workload(self.spec, self.seed)
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.name}[seed={self.seed}]"
+
+
+@dataclass(frozen=True)
+class InSituWorkloadRef:
+    """The paper's use-case-1 workload family (simulator + analytics).
+
+    ``simulator_kwargs`` (a tuple of key/value pairs, to stay hashable and
+    picklable) forwards to the simulator's model factory — the ablations use
+    ``(("malleable", False),)`` and ``(("chunks_per_thread", 0),)``.
+    """
+
+    simulator: str = "NEST"
+    simulator_config: str = "Conf. 1"
+    analytics: str = "Pils"
+    analytics_config: str = "Conf. 2"
+    analytics_submit: float = 120.0
+    simulator_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build(self) -> Workload:
+        return in_situ_workload(
+            self.simulator,
+            self.simulator_config,
+            self.analytics,
+            self.analytics_config,
+            analytics_submit=self.analytics_submit,
+            simulator_model_kwargs=dict(self.simulator_kwargs) or None,
+        )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.simulator} {self.simulator_config} + "
+            f"{self.analytics} {self.analytics_config}"
+        )
+
+
+@dataclass(frozen=True)
+class HighPriorityWorkloadRef:
+    """The paper's use-case-2 workload (NEST + high-priority CoreNeuron)."""
+
+    second_submit: float = 120.0
+
+    def build(self) -> Workload:
+        return high_priority_workload(second_submit=self.second_submit)
+
+    @property
+    def label(self) -> str:
+        return f"UC2[submit={self.second_submit:g}]"
+
+
+WorkloadRef = Union[SyntheticWorkloadRef, InSituWorkloadRef, HighPriorityWorkloadRef]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable cell of the campaign grid.
+
+    Note there is deliberately no per-run random seed: the simulation itself
+    is deterministic, and workload randomness is owned by the workload
+    reference (a :class:`SyntheticWorkloadRef` carries its generator seed) so
+    that the Serial and DROM runs of the same cell see the *same* workload.
+    """
+
+    index: int
+    scenario: str
+    workload: WorkloadRef
+    cluster: ClusterRef = ClusterRef()
+    policy: PolicyRef | None = None
+    #: Optional co-run slow-down: while a job shares a node, its steps take
+    #: ``interference_factor`` times longer (the ablations' oversubscription
+    #: model).  ``None`` means no interference, like the paper's measurements.
+    interference_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenario not in (SERIAL, DROM):
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+
+    @property
+    def run_id(self) -> str:
+        policy = self.policy.name if self.policy is not None else "default"
+        return (
+            f"{self.index:04d}|{self.scenario}|{self.workload.label}"
+            f"|{self.cluster.label}|{policy}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full sweep: every combination of the axes below becomes a run.
+
+    Expansion order is deterministic — cluster, then policy, then workload,
+    then scenario (innermost), so the Serial/DROM runs of the same cell are
+    adjacent — and each run gets a stable index.
+    """
+
+    name: str
+    workloads: tuple[WorkloadRef, ...]
+    scenarios: tuple[str, ...] = (SERIAL, DROM)
+    clusters: tuple[ClusterRef, ...] = (ClusterRef(),)
+    policies: tuple[PolicyRef | None, ...] = (None,)
+    interference_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a campaign needs at least one workload")
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        for scenario in self.scenarios:
+            if scenario not in (SERIAL, DROM):
+                raise ValueError(f"unknown scenario {scenario!r}")
+        if not self.clusters:
+            raise ValueError("a campaign needs at least one cluster")
+        if not self.policies:
+            raise ValueError("a campaign needs at least one policy entry")
+
+    def expand(self) -> list[RunSpec]:
+        """Expand the grid into its run list (stable order and indices)."""
+        runs: list[RunSpec] = []
+        index = 0
+        for cluster in self.clusters:
+            for policy in self.policies:
+                for workload in self.workloads:
+                    for scenario in self.scenarios:
+                        runs.append(
+                            RunSpec(
+                                index=index,
+                                scenario=scenario,
+                                workload=workload,
+                                cluster=cluster,
+                                policy=policy,
+                                interference_factor=self.interference_factor,
+                            )
+                        )
+                        index += 1
+        return runs
+
+    @property
+    def nruns(self) -> int:
+        return (
+            len(self.clusters)
+            * len(self.policies)
+            * len(self.workloads)
+            * len(self.scenarios)
+        )

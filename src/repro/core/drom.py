@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core.errors import (
     CpuOwnershipError,
@@ -76,11 +76,39 @@ class DromAdmin:
     One administrator instance manages exactly one node (the paper: "if the
     submission allocates more than one node, one administrator process must be
     created for each node that requires management").
+
+    Parameters
+    ----------
+    shmem:
+        The node shared memory to administer.
+    clock, sleep:
+        Time sources used by the ``SYNC_QUERY`` wait loop of
+        :meth:`set_process_mask`.  They default to ``None``, which selects the
+        simulation behaviour: nothing else can run while the administrator
+        waits in the single-threaded discrete-event experiments, so the call
+        reports ``DLB_ERR_TIMEOUT`` immediately instead of burning
+        ``sync_timeout`` seconds of real wall-clock time.  Pass
+        ``clock=time.monotonic, sleep=time.sleep`` (or use
+        :func:`attach_admin` with ``real_time=True``) when the managed
+        processes run on real threads that can acknowledge concurrently.
     """
 
-    def __init__(self, shmem: NodeSharedMemory) -> None:
+    def __init__(
+        self,
+        shmem: NodeSharedMemory,
+        *,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        if (clock is None) != (sleep is None):
+            raise ValueError(
+                "clock and sleep must be provided together (both for "
+                "real-thread waiting, neither for the simulation)"
+            )
         self._shmem = shmem
         self._attached = False
+        self._clock = clock
+        self._sleep = sleep
 
     # -- attach / detach ----------------------------------------------------
 
@@ -146,8 +174,12 @@ class DromAdmin:
         uses the asynchronous callback mode, or ``SYNC_QUERY`` was given and
         the target polled within the timeout), or an error code.
 
-        ``sync_timeout`` only applies with ``SYNC_QUERY`` outside the
-        simulation (real threads); the discrete-event experiments never block.
+        ``sync_timeout`` and ``sync_poll_interval`` only apply with
+        ``SYNC_QUERY`` on an administrator constructed with real ``clock`` /
+        ``sleep`` sources.  Under the default (simulation) configuration the
+        target can never acknowledge while this call waits, so ``SYNC_QUERY``
+        on a not-yet-acknowledged change returns ``DLB_ERR_TIMEOUT``
+        immediately and deterministically, consuming no wall-clock time.
         """
         self._require_attached()
         try:
@@ -165,11 +197,15 @@ class DromAdmin:
         if not entry.dirty:
             return DlbError.DLB_SUCCESS
         if flags.is_sync():
-            deadline = _time.monotonic() + sync_timeout
+            if self._clock is None:
+                # Simulation: single-threaded, the target cannot poll while
+                # this call waits, so waiting can only end in a timeout.
+                return DlbError.DLB_ERR_TIMEOUT
+            deadline = self._clock() + sync_timeout
             while entry.dirty:
-                if _time.monotonic() >= deadline:
+                if self._clock() >= deadline:
                     return DlbError.DLB_ERR_TIMEOUT
-                _time.sleep(sync_poll_interval)
+                self._sleep(sync_poll_interval)
             return DlbError.DLB_SUCCESS
         return DlbError.DLB_NOTED
 
@@ -259,9 +295,18 @@ class DromAdmin:
             raise NotAttachedError()
 
 
-def attach_admin(shmem: NodeSharedMemory) -> DromAdmin:
-    """Create an administrator and attach it in one call."""
-    admin = DromAdmin(shmem)
+def attach_admin(shmem: NodeSharedMemory, *, real_time: bool = False) -> DromAdmin:
+    """Create an administrator and attach it in one call.
+
+    ``real_time=True`` wires the administrator to ``time.monotonic`` /
+    ``time.sleep`` so that ``SYNC_QUERY`` genuinely waits for concurrently
+    running (real-thread) processes; the default keeps the deterministic
+    no-wait simulation behaviour.
+    """
+    if real_time:
+        admin = DromAdmin(shmem, clock=_time.monotonic, sleep=_time.sleep)
+    else:
+        admin = DromAdmin(shmem)
     code = admin.attach()
     if code.is_error():
         raise NotAttachedError(f"DROM_Attach failed with {code.name}")

@@ -36,11 +36,19 @@ class LendingState:
 
 
 class LewiModule:
-    """Lend-When-Idle coordination for one node."""
+    """Lend-When-Idle coordination for one node.
+
+    The module subscribes to the shared memory's unregister notifications, so
+    a process that finalises (``DLB_Finalize`` / ``DROM_PostFinalize``) is
+    automatically purged from the lending pools: its lent CPUs stop being
+    borrowable (their owner is gone) and its borrowed CPUs return to the idle
+    pool for the surviving processes.
+    """
 
     def __init__(self, shmem: NodeSharedMemory) -> None:
         self._shmem = shmem
         self._state = LendingState()
+        shmem.add_unregister_observer(self.forget)
 
     # -- lending ------------------------------------------------------------
 
@@ -124,6 +132,30 @@ class LewiModule:
             del self._state.borrower_of[cpu]
         self._state.idle_pool = self._state.idle_pool | give_back
         return DlbError.DLB_SUCCESS, give_back
+
+    # -- teardown -----------------------------------------------------------
+
+    def forget(self, pid: int) -> None:
+        """Purge every trace of ``pid`` from the lending state.
+
+        Called automatically when ``pid`` unregisters from the node shared
+        memory (and callable directly from process teardown paths).  CPUs the
+        pid had lent are withdrawn from the pool — their owner no longer
+        exists, so they must not remain borrowable under a stale lender pid —
+        and CPUs the pid had borrowed go back to the idle pool.
+        """
+        state = self._state
+        lent = CpuSet([c for c, owner in state.lender_of.items() if owner == pid])
+        for cpu in lent:
+            del state.lender_of[cpu]
+            state.borrower_of.pop(cpu, None)
+        state.idle_pool = state.idle_pool - lent
+        borrowed = CpuSet(
+            [c for c, borrower in state.borrower_of.items() if borrower == pid]
+        )
+        for cpu in borrowed:
+            del state.borrower_of[cpu]
+        state.idle_pool = state.idle_pool | borrowed
 
     # -- queries --------------------------------------------------------------
 

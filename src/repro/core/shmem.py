@@ -102,6 +102,7 @@ class NodeSharedMemory:
         self._entries: dict[int, ProcessEntry] = {}
         self._lock = threading.RLock()
         self._observers: list[MaskCallback] = []
+        self._unregister_observers: list[Callable[[int], None]] = []
         self._clock: Callable[[], float] = lambda: 0.0
 
     # -- wiring ------------------------------------------------------------
@@ -113,6 +114,15 @@ class NodeSharedMemory:
     def add_observer(self, callback: MaskCallback) -> None:
         """Register an instrumentation hook called on every mask assignment."""
         self._observers.append(callback)
+
+    def add_unregister_observer(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(pid)`` to run whenever a pid unregisters.
+
+        Modules keeping per-pid state outside the entry table (LeWI's lending
+        pools, statistics caches) hook in here so a finished process never
+        leaves dangling state behind.
+        """
+        self._unregister_observers.append(callback)
 
     # -- registration --------------------------------------------------------
 
@@ -182,6 +192,8 @@ class NodeSharedMemory:
         with self._lock:
             entry = self._require(pid)
             del self._entries[pid]
+            for observer in self._unregister_observers:
+                observer(pid)
             return entry
 
     # -- queries --------------------------------------------------------------

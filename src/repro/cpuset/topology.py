@@ -160,6 +160,32 @@ class ClusterTopology:
             nodes=tuple(NodeTopology.marenostrum3(name=f"mn3-{i}") for i in range(nnodes))
         )
 
+    @classmethod
+    def uniform(
+        cls,
+        nnodes: int,
+        sockets: int = 2,
+        cores_per_socket: int = 8,
+        memory_gb: float = 128.0,
+        socket_bandwidth_gbs: float = 40.0,
+        name_prefix: str = "node",
+    ) -> "ClusterTopology":
+        """A partition of ``nnodes`` identical nodes (campaign sweeps beyond MN3)."""
+        if nnodes <= 0:
+            raise ValueError("nnodes must be positive")
+        return cls(
+            nodes=tuple(
+                NodeTopology.uniform(
+                    name=f"{name_prefix}-{i}",
+                    sockets=sockets,
+                    cores_per_socket=cores_per_socket,
+                    memory_gb=memory_gb,
+                    socket_bandwidth_gbs=socket_bandwidth_gbs,
+                )
+                for i in range(nnodes)
+            )
+        )
+
     @property
     def nnodes(self) -> int:
         return len(self.nodes)

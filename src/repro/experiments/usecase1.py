@@ -5,16 +5,23 @@ scenarios of the corresponding workloads are simulated and the same series the
 paper plots (total run time, per-job response time, average response time,
 thread utilisation traces) are returned as plain data structures, ready to be
 printed by the benchmarks or asserted by the tests.
+
+All of them now go through the campaign subsystem: the figure sweeps expand
+to a :class:`~repro.campaign.spec.CampaignSpec` grid (so they can be executed
+on a worker pool like any other campaign), and the trace-based figures use
+:func:`~repro.campaign.runner.run_scenario_pair` on the same declarative
+workload references.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.campaign.runner import RunMetrics, run_campaign, run_scenario_pair
+from repro.campaign.spec import CampaignSpec, InSituWorkloadRef
 from repro.metrics.collect import relative_improvement
 from repro.metrics.paraver import ParaverView
-from repro.workload.runner import DROM, SERIAL, ScenarioResult, run_both_scenarios
-from repro.workload.workloads import Workload, in_situ_workload
+from repro.workload.runner import DROM, SERIAL, ScenarioResult
 
 #: Analytics configurations evaluated against each simulator configuration,
 #: matching the X axes of Figures 4/6 (Pils) and 7 (STREAM).
@@ -72,6 +79,41 @@ class WorkloadComparison:
         return 1.0 - drom / serial
 
 
+def _comparison_from_rows(
+    ref: InSituWorkloadRef, serial: RunMetrics, drom: RunMetrics
+) -> WorkloadComparison:
+    return WorkloadComparison(
+        workload=serial.workload_name,
+        simulator=ref.simulator,
+        simulator_config=ref.simulator_config,
+        analytics=ref.analytics,
+        analytics_config=ref.analytics_config,
+        serial_total_run_time=serial.total_run_time,
+        drom_total_run_time=drom.total_run_time,
+        serial_response=dict(serial.response_times),
+        drom_response=dict(drom.response_times),
+        serial_average_response=serial.average_response_time,
+        drom_average_response=drom.average_response_time,
+    )
+
+
+def compare_workloads(
+    refs: list[InSituWorkloadRef], workers: int = 1
+) -> list[WorkloadComparison]:
+    """Run the Serial+DROM campaign of several workloads and pair the rows."""
+    spec = CampaignSpec(
+        name="usecase1",
+        workloads=tuple(refs),
+        scenarios=(SERIAL, DROM),
+    )
+    result = run_campaign(spec, workers=workers)
+    comparisons = []
+    for cell in result.scenario_pairs():
+        serial, drom = cell[SERIAL], cell[DROM]
+        comparisons.append(_comparison_from_rows(serial.run.workload, serial, drom))
+    return comparisons
+
+
 def compare_workload(
     simulator: str,
     simulator_config: str,
@@ -79,22 +121,8 @@ def compare_workload(
     analytics_config: str,
 ) -> WorkloadComparison:
     """Run the Serial and DROM scenarios of one simulator+analytics workload."""
-    workload = in_situ_workload(simulator, simulator_config, analytics, analytics_config)
-    results = run_both_scenarios(workload)
-    serial, drom = results[SERIAL], results[DROM]
-    return WorkloadComparison(
-        workload=workload.name,
-        simulator=simulator,
-        simulator_config=simulator_config,
-        analytics=analytics,
-        analytics_config=analytics_config,
-        serial_total_run_time=serial.metrics.total_run_time,
-        drom_total_run_time=drom.metrics.total_run_time,
-        serial_response=dict(serial.metrics.response_times()),
-        drom_response=dict(drom.metrics.response_times()),
-        serial_average_response=serial.metrics.average_response_time,
-        drom_average_response=drom.metrics.average_response_time,
-    )
+    ref = InSituWorkloadRef(simulator, simulator_config, analytics, analytics_config)
+    return compare_workloads([ref])[0]
 
 
 # -- Figures 4/9 (total run time, simulator + Pils) --------------------------------------
@@ -102,11 +130,13 @@ def compare_workload(
 
 def simulator_pils_run_time(simulator: str) -> list[WorkloadComparison]:
     """Figure 4 (NEST) / Figure 9 (CoreNeuron): total run time vs Pils config."""
-    return [
-        compare_workload(simulator, sim_conf, "Pils", pils_conf)
-        for sim_conf in SIMULATOR_CONFIGS
-        for pils_conf in PILS_CONFIGS
-    ]
+    return compare_workloads(
+        [
+            InSituWorkloadRef(simulator, sim_conf, "Pils", pils_conf)
+            for sim_conf in SIMULATOR_CONFIGS
+            for pils_conf in PILS_CONFIGS
+        ]
+    )
 
 
 # -- Figures 6/10 (individual response times, simulator + Pils) -----------------------------
@@ -122,10 +152,12 @@ def simulator_pils_response(simulator: str) -> list[WorkloadComparison]:
 
 def simulator_stream(simulator: str) -> list[WorkloadComparison]:
     """Figure 7 (NEST) / Figure 11 (CoreNeuron): run time and response with STREAM."""
-    return [
-        compare_workload(simulator, sim_conf, "STREAM", "Conf. 1")
-        for sim_conf in SIMULATOR_CONFIGS
-    ]
+    return compare_workloads(
+        [
+            InSituWorkloadRef(simulator, sim_conf, "STREAM", "Conf. 1")
+            for sim_conf in SIMULATOR_CONFIGS
+        ]
+    )
 
 
 # -- Figures 8/12 (average response time over all workloads of one simulator) ------------------
@@ -133,12 +165,12 @@ def simulator_stream(simulator: str) -> list[WorkloadComparison]:
 
 def simulator_average_response(simulator: str) -> list[WorkloadComparison]:
     """Figure 8 (NEST) / Figure 12 (CoreNeuron): average response times."""
-    comparisons = []
+    refs = []
     for sim_conf in SIMULATOR_CONFIGS:
         for pils_conf in PILS_CONFIGS:
-            comparisons.append(compare_workload(simulator, sim_conf, "Pils", pils_conf))
-        comparisons.append(compare_workload(simulator, sim_conf, "STREAM", "Conf. 1"))
-    return comparisons
+            refs.append(InSituWorkloadRef(simulator, sim_conf, "Pils", pils_conf))
+        refs.append(InSituWorkloadRef(simulator, sim_conf, "STREAM", "Conf. 1"))
+    return compare_workloads(refs)
 
 
 # -- Figure 5 (imbalance trace after shrinking) ---------------------------------------------------
@@ -183,8 +215,9 @@ def imbalance_trace(
     chunks are executed by a subset of the remaining threads, which therefore
     stay busy while the others show idle time.
     """
-    workload = in_situ_workload(simulator, simulator_config, "Pils", analytics_config)
-    result: ScenarioResult = run_both_scenarios(workload)[DROM]
+    ref = InSituWorkloadRef(simulator, simulator_config, "Pils", analytics_config)
+    result: ScenarioResult = run_scenario_pair(ref)[DROM]
+    workload = result.workload
     sim_label = workload.jobs[0].label
     tracer = result.tracer
     view = ParaverView(tracer, bin_seconds=100.0)
@@ -234,8 +267,9 @@ def scenario_timelines(
     analytics_config: str = "Conf. 2",
 ) -> dict[str, ScenarioTimeline]:
     """Reproduce the Figure 3 schematic from actual simulated runs."""
-    workload = in_situ_workload(simulator, simulator_config, analytics, analytics_config)
-    results = run_both_scenarios(workload)
+    ref = InSituWorkloadRef(simulator, simulator_config, analytics, analytics_config)
+    results = run_scenario_pair(ref)
+    workload = results[DROM].workload
     timelines: dict[str, ScenarioTimeline] = {}
     for scenario, result in results.items():
         view = ParaverView(result.tracer, bin_seconds=100.0)

@@ -21,11 +21,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.runner import run_scenario_pair
+from repro.campaign.spec import HighPriorityWorkloadRef
 from repro.metrics.collect import relative_improvement
 from repro.metrics.counters import CounterLog
 from repro.metrics.paraver import ParaverView
-from repro.workload.runner import DROM, SERIAL, ScenarioResult, run_both_scenarios
-from repro.workload.workloads import high_priority_workload
+from repro.workload.runner import DROM, SERIAL, ScenarioResult
 
 
 @dataclass(frozen=True)
@@ -121,9 +122,10 @@ class UseCase2Result:
 
 
 def run_usecase2(second_submit: float = 120.0) -> UseCase2Result:
-    """Run both scenarios of use case 2 and bundle the measurements."""
-    workload = high_priority_workload(second_submit=second_submit)
-    results = run_both_scenarios(workload)
+    """Run both scenarios of use case 2 through the campaign API."""
+    ref = HighPriorityWorkloadRef(second_submit=second_submit)
+    results = run_scenario_pair(ref)
+    workload = results[DROM].workload
     return UseCase2Result(
         serial=results[SERIAL],
         drom=results[DROM],

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.apps.base import ApplicationModel, RankWorkPlan
+from repro.core.errors import ProcessNotRegisteredError
 from repro.core.stats import ProcessStats, StatsModule
 from repro.cpuset.distribution import DistributionPolicy
 from repro.cpuset.mask import CpuSet
@@ -257,19 +258,7 @@ class _RunState:
             process = ApplicationProcess(spec, shmem, comm=comm, environ=task.environ)
             process.start()
             if self.trace:
-                process.on_mask_change(
-                    lambda mask, label=wjob.label, rank=task.global_rank, proc=process: (
-                        self.tracer.record_mask_change(
-                            MaskChangeRecord(
-                                job=label,
-                                rank=rank,
-                                time=self.engine.now,
-                                old_threads=-1,
-                                new_threads=mask.count(),
-                            )
-                        )
-                    )
-                )
+                self._install_mask_tracer(wjob.label, task.global_rank, process)
             execution.ranks.append(
                 RankExecution(
                     rank=task.global_rank,
@@ -280,6 +269,27 @@ class _RunState:
             )
         self.executions[job.job_id] = execution
         self.engine.spawn(self._execute(execution), name=f"job-{job.job_id}-{wjob.label}")
+
+    def _install_mask_tracer(
+        self, label: str, rank: int, process: ApplicationProcess
+    ) -> None:
+        """Record mask changes with the team size they replace."""
+        previous = [process.current_mask.count()]
+
+        def on_change(mask: CpuSet) -> None:
+            new_threads = mask.count()
+            self.tracer.record_mask_change(
+                MaskChangeRecord(
+                    job=label,
+                    rank=rank,
+                    time=self.engine.now,
+                    old_threads=previous[0],
+                    new_threads=new_threads,
+                )
+            )
+            previous[0] = new_threads
+
+        process.on_mask_change(on_change)
 
     # -- execution ------------------------------------------------------------------------------
 
@@ -374,7 +384,9 @@ class _RunState:
                 record = node_stats.process_stats(rank.process.spec.pid)
                 record.mask_changes = rank.process.dlb.updates
                 snapshots.append(record)
-            except Exception:
+            except (ProcessNotRegisteredError, KeyError):
+                # A rank that never computed (or was already finalised) has no
+                # stats record; anything else is a real error and propagates.
                 pass
             node_stats.drop(rank.process.spec.pid)
         self.job_stats[execution.label] = snapshots

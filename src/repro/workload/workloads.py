@@ -57,16 +57,20 @@ def in_situ_workload(
     analytics: str = "Pils",
     analytics_config: str = "Conf. 2",
     analytics_submit: float = DEFAULT_SECOND_SUBMIT,
+    simulator_model_kwargs: dict | None = None,
 ) -> Workload:
     """Use case 1: a simulation plus an in-situ analytics job.
 
     ``simulator`` is ``"NEST"`` or ``"CoreNeuron"``; ``analytics`` is
     ``"Pils"`` or ``"STREAM"``.  The analytics job is submitted at
     ``analytics_submit`` seconds, while the simulation is running.
+    ``simulator_model_kwargs`` forwards to the simulator's model factory —
+    the ablation studies use it to build non-malleable or fully malleable
+    simulator variants of the same workload.
     """
     sim_factory = {"NEST": configs.nest, "CoreNeuron": configs.coreneuron}[simulator]
     ana_factory = {"Pils": configs.pils, "STREAM": configs.stream}[analytics]
-    sim = sim_factory(simulator_config)
+    sim = sim_factory(simulator_config, **(simulator_model_kwargs or {}))
     ana = ana_factory(analytics_config)
     ana_thread_model = ThreadModel.OMPSS if analytics == "Pils" else ThreadModel.OPENMP
     return Workload(

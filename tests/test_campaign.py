@@ -1,0 +1,222 @@
+"""Tests of the campaign subsystem: spec expansion, execution, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ClusterRef,
+    HighPriorityWorkloadRef,
+    InSituWorkloadRef,
+    PolicyRef,
+    RunSpec,
+    SyntheticWorkloadRef,
+    execute_run,
+    run_campaign,
+    run_scenario_pair,
+    summarise_run,
+)
+from repro.campaign.__main__ import main as campaign_cli
+from repro.cpuset.distribution import SocketAwareEquipartition
+from repro.workload.generator import WorkloadSpec
+from repro.workload.runner import DROM, SERIAL
+
+#: Cheap synthetic family for pool tests.
+SMALL = WorkloadSpec(njobs=3, mean_interarrival=90.0, work_scale=0.04, iterations=16)
+
+
+def small_sweep(nworkloads: int = 2, **kwargs) -> CampaignSpec:
+    defaults = dict(
+        name="test-sweep",
+        workloads=tuple(
+            SyntheticWorkloadRef(spec=SMALL, seed=i) for i in range(nworkloads)
+        ),
+        scenarios=(SERIAL, DROM),
+        clusters=(ClusterRef(nnodes=4, kind="mn3"),),
+    )
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+class TestSpecExpansion:
+    def test_grid_size_and_stable_indices(self):
+        spec = small_sweep(
+            nworkloads=3,
+            clusters=(ClusterRef(nnodes=2), ClusterRef(nnodes=4)),
+            policies=(None, PolicyRef("socket")),
+        )
+        runs = spec.expand()
+        assert len(runs) == spec.nruns == 3 * 2 * 2 * 2
+        assert [r.index for r in runs] == list(range(len(runs)))
+        # Expansion is deterministic and repeatable.
+        assert runs == spec.expand()
+
+    def test_scenarios_adjacent_per_cell(self):
+        runs = small_sweep().expand()
+        assert runs[0].scenario == SERIAL and runs[1].scenario == DROM
+        assert runs[0].workload == runs[1].workload
+
+    def test_run_ids_are_unique(self):
+        runs = small_sweep(nworkloads=3).expand()
+        assert len({r.run_id for r in runs}) == len(runs)
+
+    def test_duplicate_workload_refs_stay_distinct_cells(self):
+        ref = SyntheticWorkloadRef(spec=SMALL, seed=0)
+        spec = CampaignSpec(name="dup", workloads=(ref, ref))
+        result = run_campaign(spec)
+        cells = result.scenario_pairs()
+        assert len(cells) == 2
+        assert all(set(cell) == {SERIAL, DROM} for cell in cells)
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            RunSpec(index=0, scenario="turbo", workload=HighPriorityWorkloadRef())
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            CampaignSpec(name="empty", workloads=())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            PolicyRef("round-robin")
+
+    def test_policy_ref_builds_registry_class(self):
+        assert isinstance(PolicyRef("socket").build(), SocketAwareEquipartition)
+
+    def test_cluster_ref_builds_requested_shape(self):
+        cluster = ClusterRef(nnodes=4, kind="uniform", sockets=1, cores_per_socket=4)
+        topo = cluster.build()
+        assert topo.nnodes == 4
+        assert topo.ncpus == 16
+
+
+class TestExecution:
+    def test_execute_run_is_pure(self):
+        run = RunSpec(
+            index=0,
+            scenario=DROM,
+            workload=SyntheticWorkloadRef(spec=SMALL, seed=0),
+            cluster=ClusterRef(nnodes=4),
+        )
+        a = execute_run(run, trace=False)
+        b = execute_run(run, trace=False)
+        # Job ids are process-global counters, so compare the campaign-level
+        # summary (timings, labels) rather than raw Job records.
+        assert summarise_run(run, a) == summarise_run(run, b)
+
+    def test_scenario_pair_returns_full_results(self):
+        results = run_scenario_pair(
+            SyntheticWorkloadRef(spec=SMALL, seed=1), cluster=ClusterRef(nnodes=4)
+        )
+        assert set(results) == {SERIAL, DROM}
+        assert len(results[DROM].tracer) > 0  # tracing on by default
+
+    def test_interference_factor_slows_co_runs(self):
+        ref = InSituWorkloadRef("NEST", "Conf. 1", "Pils", "Conf. 2")
+        plain = execute_run(RunSpec(index=0, scenario=DROM, workload=ref))
+        slowed = execute_run(
+            RunSpec(index=1, scenario=DROM, workload=ref, interference_factor=1.5)
+        )
+        assert slowed.metrics.total_run_time > plain.metrics.total_run_time
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def sweep_results(self):
+        """One ≥20-run sweep over a 4-node cluster, serial and pooled."""
+        spec = small_sweep(
+            nworkloads=5,
+            clusters=(ClusterRef(nnodes=4, kind="mn3"), ClusterRef(nnodes=4, kind="uniform")),
+        )
+        assert spec.nruns >= 20
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=4)
+        return spec, serial, pooled
+
+    def test_pool_matches_serial_execution_exactly(self, sweep_results):
+        _spec, serial, pooled = sweep_results
+        assert pooled.rows == serial.rows
+
+    def test_aggregated_table_is_byte_identical(self, sweep_results):
+        _spec, serial, pooled = sweep_results
+        assert pooled.to_table() == serial.to_table()
+
+    def test_rows_in_run_index_order(self, sweep_results):
+        _spec, _serial, pooled = sweep_results
+        assert [m.run.index for m in pooled.rows] == list(range(len(pooled)))
+
+    def test_scenario_pairs_cover_every_cell(self, sweep_results):
+        spec, serial, _pooled = sweep_results
+        cells = serial.scenario_pairs()
+        assert len(cells) == spec.nruns // len(spec.scenarios)
+        assert all(set(cell) == {SERIAL, DROM} for cell in cells)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(small_sweep(), workers=0)
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def uc_result(self):
+        return run_campaign(
+            CampaignSpec(
+                name="uc",
+                workloads=(InSituWorkloadRef("NEST", "Conf. 1", "Pils", "Conf. 2"),),
+            )
+        )
+
+    def test_row_metrics_match_direct_execution(self, uc_result):
+        serial_row = uc_result.by_scenario()[SERIAL][0]
+        direct = execute_run(serial_row.run, trace=False)
+        assert serial_row.total_run_time == direct.metrics.total_run_time
+        assert dict(serial_row.response_times) == dict(direct.metrics.response_times())
+
+    def test_drom_beats_serial_in_table(self, uc_result):
+        cell = uc_result.scenario_pairs()[0]
+        assert cell[DROM].total_run_time < cell[SERIAL].total_run_time
+
+    def test_table_mentions_every_run(self, uc_result):
+        table = uc_result.to_table()
+        assert table.count("NEST Conf. 1 + Pils Conf. 2") == 2
+        for scenario in (SERIAL, DROM):
+            assert scenario in table
+
+    def test_job_utilisation_recorded(self, uc_result):
+        row = uc_result.by_scenario()[DROM][0]
+        assert all(0.0 < u <= 1.0 for _job, u in row.job_utilisation)
+
+
+class TestCli:
+    def test_cli_runs_a_sweep(self, capsys):
+        code = campaign_cli(
+            [
+                "--workloads", "2",
+                "--njobs", "2",
+                "--nnodes", "4",
+                "--workers", "2",
+                "--work-scale", "0.04",
+                "--iterations", "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 runs" in out
+        assert "drom" in out and "serial" in out
+        assert "DROM vs Serial" in out
+
+    def test_cli_policy_axis(self, capsys):
+        code = campaign_cli(
+            [
+                "--workloads", "1",
+                "--njobs", "2",
+                "--scenarios", "drom",
+                "--policies", "socket,equipartition",
+                "--work-scale", "0.04",
+                "--iterations", "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "socket" in out and "equipartition" in out

@@ -114,6 +114,92 @@ class TestSetProcessMask:
         )
         assert code is DlbError.DLB_ERR_TIMEOUT
 
+    def test_sync_query_consumes_no_wall_clock_time_under_simulation(self, shmem, admin):
+        """Regression: the sim-default administrator used to busy-wait on real
+        time.monotonic()/time.sleep for the full sync_timeout."""
+        import time
+
+        shmem.register(1, CpuSet.from_range(0, 16))
+        start = time.perf_counter()
+        code = admin.set_process_mask(
+            1,
+            CpuSet.from_range(0, 8),
+            DromFlags.SYNC_QUERY,
+            sync_timeout=5.0,  # would stall 5 real seconds with the old code
+        )
+        elapsed = time.perf_counter() - start
+        assert code is DlbError.DLB_ERR_TIMEOUT
+        assert elapsed < 0.5
+        # The change is still registered (asynchronous semantics preserved).
+        assert shmem.get_mask(1) == CpuSet.from_range(0, 8)
+        assert shmem.entry(1).dirty
+
+    def test_sync_query_already_acknowledged_still_succeeds(self, shmem, admin):
+        shmem.register(1, CpuSet.from_range(0, 16))
+        shmem.set_async_callback(1, lambda pid, mask: None)  # acks immediately
+        code = admin.set_process_mask(
+            1, CpuSet.from_range(0, 8), DromFlags.SYNC_QUERY
+        )
+        assert code is DlbError.DLB_SUCCESS
+
+    def test_sync_query_with_injected_clock_waits_for_acknowledgement(self, shmem):
+        from repro.core.drom import DromAdmin
+
+        clock = [0.0]
+        sleeps = []
+
+        def fake_sleep(interval: float) -> None:
+            sleeps.append(interval)
+            clock[0] += interval
+            # The target polls while the administrator sleeps (the real-thread
+            # behaviour the injectable time sources exist for).
+            shmem.poll(1)
+
+        admin = DromAdmin(shmem, clock=lambda: clock[0], sleep=fake_sleep)
+        admin.attach()
+        shmem.register(1, CpuSet.from_range(0, 16))
+        code = admin.set_process_mask(
+            1,
+            CpuSet.from_range(0, 8),
+            DromFlags.SYNC_QUERY,
+            sync_timeout=1.0,
+            sync_poll_interval=0.01,
+        )
+        assert code is DlbError.DLB_SUCCESS
+        assert sleeps  # it really went through the wait loop
+        assert shmem.entry(1).current_mask == CpuSet.from_range(0, 8)
+
+    def test_half_injected_time_sources_rejected(self, shmem):
+        from repro.core.drom import DromAdmin
+
+        with pytest.raises(ValueError, match="together"):
+            DromAdmin(shmem, clock=lambda: 0.0)
+        with pytest.raises(ValueError, match="together"):
+            DromAdmin(shmem, sleep=lambda _t: None)
+
+    def test_sync_query_with_injected_clock_times_out_deterministically(self, shmem):
+        from repro.core.drom import DromAdmin
+
+        clock = [0.0]
+        sleeps = []
+
+        def fake_sleep(interval: float) -> None:
+            sleeps.append(interval)
+            clock[0] += interval  # nobody ever acknowledges
+
+        admin = DromAdmin(shmem, clock=lambda: clock[0], sleep=fake_sleep)
+        admin.attach()
+        shmem.register(1, CpuSet.from_range(0, 16))
+        code = admin.set_process_mask(
+            1,
+            CpuSet.from_range(0, 8),
+            DromFlags.SYNC_QUERY,
+            sync_timeout=0.05,
+            sync_poll_interval=0.01,
+        )
+        assert code is DlbError.DLB_ERR_TIMEOUT
+        assert len(sleeps) == 5  # exactly sync_timeout / sync_poll_interval
+
 
 class TestPreInitPostFinalize:
     def test_preinit_reserves_and_builds_environ(self, shmem, admin):

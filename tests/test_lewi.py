@@ -124,6 +124,59 @@ class TestBorrowReclaim:
         assert lewi.return_borrowed(2)[0] is DlbError.DLB_NOUPDT
 
 
+class TestTeardown:
+    def test_unregister_purges_lender_state(self, lewi_setup):
+        """Regression: CPUs lent by a finished process stayed borrowable with
+        a stale lender pid after the process unregistered."""
+        lewi, shmem = lewi_setup
+        lewi.lend(1)
+        shmem.unregister(1)
+        assert lewi.idle_cpus().is_empty()
+        assert lewi.lent_by(1).is_empty()
+        code, borrowed = lewi.borrow(2)
+        assert code is DlbError.DLB_NOUPDT
+        assert borrowed.is_empty()
+
+    def test_unregister_lender_revokes_existing_borrows(self, lewi_setup):
+        lewi, shmem = lewi_setup
+        lewi.lend(1)
+        lewi.borrow(2)
+        shmem.unregister(1)
+        assert lewi.borrowed_by(2).is_empty()
+        assert lewi.idle_cpus().is_empty()
+        # The survivor's effective mask is back to what it owns.
+        assert lewi.effective_mask(2) == CpuSet.from_range(8, 16)
+
+    def test_unregister_borrower_returns_cpus_to_pool(self, lewi_setup):
+        lewi, shmem = lewi_setup
+        lewi.lend(1)
+        lewi.borrow(2)
+        shmem.unregister(2)
+        assert lewi.borrowed_by(2).is_empty()
+        assert lewi.idle_cpus() == CpuSet.from_range(1, 8)
+        # The lender can still reclaim; nothing is borrowed any more.
+        code, reclaimed, revoked = lewi.reclaim(1)
+        assert code is DlbError.DLB_SUCCESS
+        assert reclaimed == CpuSet.from_range(1, 8)
+        assert revoked == {}
+
+    def test_forget_is_also_directly_callable(self, lewi_setup):
+        lewi, _ = lewi_setup
+        lewi.lend(1, CpuSet([6, 7]))
+        lewi.forget(1)
+        assert lewi.lent_by(1).is_empty()
+        assert lewi.idle_cpus().is_empty()
+
+    def test_post_finalize_purges_lewi_state(self, lewi_setup, admin):
+        """The administrator teardown path (DROM_PostFinalize) purges too."""
+        lewi, shmem = lewi_setup
+        lewi.lend(1)
+        admin.post_finalize(1, DromFlags.NONE)
+        assert not shmem.has(1)
+        assert lewi.idle_cpus().is_empty()
+        assert lewi.borrow(2)[0] is DlbError.DLB_NOUPDT
+
+
 class TestComposition:
     def test_lewi_and_drom_coexist(self, lewi_setup, admin):
         """LeWI lending composes with a DROM mask change on the same process."""

@@ -68,6 +68,42 @@ class TestCallbacks:
         engine.call_at(3.0, lambda: None)
         assert engine.run(until=50.0) == 50.0
 
+    def test_run_until_executes_event_exactly_at_boundary(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.call_at(10.0, lambda: seen.append(engine.now))
+        assert engine.run(until=10.0) == 10.0
+        assert seen == [10.0]
+        assert engine.pending() == 0
+
+    def test_run_until_with_empty_queue_advances_to_until(self):
+        engine = SimulationEngine()
+        assert engine.run(until=7.5) == 7.5
+        assert engine.now == 7.5
+
+    def test_run_until_can_resume_in_segments(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.call_at(5.0, lambda: seen.append("early"))
+        engine.call_at(15.0, lambda: seen.append("late"))
+        engine.run(until=10.0)
+        assert seen == ["early"]
+        assert engine.now == 10.0
+        engine.run(until=20.0)
+        assert seen == ["early", "late"]
+        assert engine.now == 20.0
+
+    def test_run_until_keeps_later_events_pending(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.call_at(10.0, lambda: seen.append("boundary"))
+        engine.call_at(10.0 + 1e-9, lambda: seen.append("just after"))
+        engine.run(until=10.0)
+        assert seen == ["boundary"]
+        assert engine.pending() == 1
+        engine.run()
+        assert seen == ["boundary", "just after"]
+
     def test_peek_and_pending(self):
         engine = SimulationEngine()
         assert engine.peek() is None

@@ -1,0 +1,129 @@
+"""Tests of the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpuset.topology import ClusterTopology
+from repro.runtime.process import ThreadModel
+from repro.workload.generator import (
+    DEFAULT_APP_MIX,
+    AppMixEntry,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.workload.runner import ScenarioRunner
+
+#: Small family used throughout: cheap enough for end-to-end runs.
+SMALL = WorkloadSpec(njobs=4, mean_interarrival=60.0, work_scale=0.04, iterations=16)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        assert generate_workload(SMALL, 42) == generate_workload(SMALL, 42)
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(SMALL, 1)
+        b = generate_workload(SMALL, 2)
+        assert [j.submit_time for j in a.jobs] != [j.submit_time for j in b.jobs]
+
+    def test_seed_appears_in_name(self):
+        assert "seed=7" in generate_workload(SMALL, 7).name
+
+
+class TestStructure:
+    def test_job_count_and_unique_labels(self):
+        workload = generate_workload(SMALL, 3)
+        assert len(workload.jobs) == SMALL.njobs
+        labels = workload.job_labels()
+        assert len(set(labels)) == len(labels)
+
+    def test_first_job_arrives_at_zero_and_times_increase(self):
+        workload = generate_workload(SMALL, 3)
+        times = [j.submit_time for j in workload.jobs]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+
+    def test_uniform_arrivals_are_evenly_spaced(self):
+        spec = WorkloadSpec(njobs=3, arrival="uniform", mean_interarrival=50.0)
+        workload = generate_workload(spec, 0)
+        assert [j.submit_time for j in workload.jobs] == [0.0, 50.0, 100.0]
+
+    def test_burst_arrivals_with_zero_interarrival(self):
+        spec = WorkloadSpec(njobs=3, mean_interarrival=0.0)
+        workload = generate_workload(spec, 0)
+        assert [j.submit_time for j in workload.jobs] == [0.0, 0.0, 0.0]
+
+    def test_app_mix_weights_respected(self):
+        mix = (
+            AppMixEntry("STREAM", "Conf. 1", weight=1.0),
+            AppMixEntry("Pils", "Conf. 2", weight=0.0),
+        )
+        spec = WorkloadSpec(njobs=10, app_mix=mix)
+        workload = generate_workload(spec, 5)
+        assert all(j.app.app_name == "STREAM" for j in workload.jobs)
+
+    def test_pils_jobs_use_ompss(self):
+        mix = (AppMixEntry("Pils", "Conf. 2"),)
+        workload = generate_workload(WorkloadSpec(njobs=2, app_mix=mix), 0)
+        assert all(j.thread_model is ThreadModel.OMPSS for j in workload.jobs)
+
+    def test_priorities_drawn_from_levels(self):
+        spec = WorkloadSpec(njobs=8, priority_levels=(0, 10))
+        workload = generate_workload(spec, 1)
+        assert {j.priority for j in workload.jobs} <= {0, 10}
+
+    def test_work_scale_shrinks_models(self):
+        small = generate_workload(SMALL, 0)
+        big = generate_workload(
+            WorkloadSpec(
+                njobs=SMALL.njobs,
+                mean_interarrival=SMALL.mean_interarrival,
+                work_scale=1.0,
+                iterations=16,
+            ),
+            0,
+        )
+        assert small.jobs[0].app.model.total_work < big.jobs[0].app.model.total_work
+
+    def test_nodes_field_propagates(self):
+        workload = generate_workload(WorkloadSpec(njobs=1, nodes=3), 0)
+        assert workload.nodes == 3
+
+
+class TestValidation:
+    def test_invalid_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            AppMixEntry("GROMACS", "Conf. 1")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="no configuration"):
+            AppMixEntry("STREAM", "Conf. 9")
+
+    def test_bad_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadSpec(arrival="bursty")
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive weight"):
+            WorkloadSpec(app_mix=(AppMixEntry("STREAM", "Conf. 1", weight=0.0),))
+
+    def test_default_mix_covers_all_four_apps(self):
+        assert {e.app for e in DEFAULT_APP_MIX} == {
+            "NEST",
+            "CoreNeuron",
+            "Pils",
+            "STREAM",
+        }
+
+
+class TestEndToEnd:
+    def test_generated_workload_runs_under_both_scenarios(self):
+        workload = generate_workload(SMALL, 11)
+        cluster = ClusterTopology.marenostrum3(4)
+        for drom_enabled in (False, True):
+            result = ScenarioRunner(drom_enabled, cluster=cluster).run(
+                workload, trace=False
+            )
+            assert result.metrics.total_run_time > 0
+            assert len(result.metrics.jobs) == SMALL.njobs

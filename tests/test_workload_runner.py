@@ -148,6 +148,69 @@ class TestRunnerVariants:
         assert result.metrics.total_run_time > 0
 
 
+class TestMaskChangeRecords:
+    def test_old_threads_is_recorded(self, nest_pils_results):
+        """Regression: every MaskChangeRecord used to carry old_threads=-1."""
+        drom = nest_pils_results[DROM]
+        changes = drom.tracer.mask_changes()
+        assert changes
+        assert all(c.old_threads > 0 for c in changes)
+
+    def test_first_change_starts_from_initial_team(self, nest_pils_results):
+        drom = nest_pils_results[DROM]
+        first = drom.tracer.mask_changes("NEST Conf. 1")[0]
+        assert first.old_threads == 16  # Conf. 1: 16 threads per rank
+        assert first.new_threads == 15  # one CPU per node went to Pils
+
+    def test_change_chain_is_consistent_per_rank(self, nest_pils_results):
+        """old_threads of each change equals new_threads of the previous one."""
+        drom = nest_pils_results[DROM]
+        per_rank: dict[tuple[str, int], list] = {}
+        for change in drom.tracer.mask_changes():
+            per_rank.setdefault((change.job, change.rank), []).append(change)
+        for chain in per_rank.values():
+            for earlier, later in zip(chain, chain[1:]):
+                assert later.old_threads == earlier.new_threads
+
+
+class TestCompletionStats:
+    @staticmethod
+    def _small_workload() -> Workload:
+        return Workload(
+            name="solo STREAM",
+            jobs=(WorkloadJob(app=configs.stream("Conf. 1"), submit_time=0.0),),
+        )
+
+    def test_unexpected_stats_errors_propagate(self, monkeypatch):
+        """Regression: _complete swallowed every exception around the stats
+        snapshot, silently dropping job_stats."""
+        from repro.core.stats import StatsModule
+
+        def boom(self, pid):
+            raise RuntimeError("stats backend corrupted")
+
+        monkeypatch.setattr(StatsModule, "process_stats", boom)
+        with pytest.raises(RuntimeError, match="stats backend corrupted"):
+            ScenarioRunner(True).run(self._small_workload(), trace=False)
+
+    def test_missing_stats_records_are_tolerated(self, monkeypatch):
+        from repro.core.errors import ProcessNotRegisteredError
+        from repro.core.stats import StatsModule
+
+        def missing(self, pid):
+            raise ProcessNotRegisteredError(pid)
+
+        monkeypatch.setattr(StatsModule, "process_stats", missing)
+        result = ScenarioRunner(True).run(self._small_workload(), trace=False)
+        assert result.job_stats["STREAM Conf. 1"] == []
+
+    def test_job_stats_snapshot_present_by_default(self):
+        result = ScenarioRunner(True).run(self._small_workload(), trace=False)
+        records = result.job_stats["STREAM Conf. 1"]
+        assert len(records) == 2  # one per MPI rank
+        assert all(r.useful_time > 0 for r in records)
+
+
 class TestUseCase2Workload:
     def test_high_priority_job_structure(self):
         workload = high_priority_workload()
