@@ -5,12 +5,15 @@ two MN3 nodes.  This benchmark exercises the campaign subsystem at the scale
 the ROADMAP asks for: 20 runs (5 seeded synthetic workloads × Serial/DROM ×
 two cluster shapes, including a 4-node MN3 partition and a 6-node generic
 one), executed through a ``multiprocessing`` worker pool, with a determinism
-check that the pooled execution reproduces the serial one byte for byte.
+check that the pooled execution reproduces the serial one byte for byte —
+and a warm/cold round trip through the content-addressed result store: the
+second sweep must simulate nothing and aggregate byte-identically.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 from repro.campaign import (
     CampaignSpec,
@@ -18,6 +21,7 @@ from repro.campaign import (
     SyntheticWorkloadRef,
     run_campaign,
 )
+from repro.results import ResultStore
 from repro.workload.generator import WorkloadSpec
 from repro.workload.runner import DROM, SERIAL
 
@@ -64,3 +68,41 @@ def test_campaign_sweep(benchmark, report):
         f"(identical to the 1-worker execution):\n\n" + pooled.to_table()
     )
     report("campaign_sweep", text)
+
+
+def test_campaign_sweep_store_roundtrip(tmp_path, report):
+    """Cold vs warm sweep through the result store (ROADMAP: result caching).
+
+    The cold run simulates the whole 20-run grid and populates the store; the
+    warm re-run must perform **zero** simulations and still aggregate
+    byte-identical metrics.  Reported: the warm/cold wall-clock ratio.
+    """
+    spec = build_spec()
+    store = ResultStore(tmp_path / "store")
+
+    t0 = time.perf_counter()
+    cold = run_campaign(spec, workers=1, store=store)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_campaign(spec, workers=1, store=store)
+    warm_s = time.perf_counter() - t0
+
+    assert cold.executed == spec.nruns and cold.cache_hits == 0
+    assert warm.executed == 0 and warm.cache_hits == spec.nruns
+    assert len(store) == spec.nruns
+    # Byte-identical aggregation from cache.
+    assert warm.rows == cold.rows
+    assert warm.to_table() == cold.to_table()
+
+    ratio = warm_s / cold_s if cold_s > 0 else float("nan")
+    text = (
+        f"{spec.nruns}-run grid, content-addressed store at a fresh root:\n"
+        f"  cold sweep (all simulated): {cold_s:8.3f} s\n"
+        f"  warm sweep (all cached):    {warm_s:8.3f} s\n"
+        f"  warm/cold wall-clock ratio: {ratio:8.4f} "
+        f"({1 / ratio:.0f}x speed-up)\n"
+        f"  warm run simulations: {warm.executed} (cache hits: {warm.cache_hits})\n"
+        f"  aggregated tables byte-identical: "
+        f"{warm.to_table() == cold.to_table()}"
+    )
+    report("campaign_sweep_store", text)

@@ -19,6 +19,7 @@ Command line::
 """
 
 from repro.campaign.spec import (
+    NODE_POLICY_NAMES,
     POLICY_REGISTRY,
     CampaignSpec,
     ClusterRef,
@@ -26,6 +27,7 @@ from repro.campaign.spec import (
     InSituWorkloadRef,
     PolicyRef,
     RunSpec,
+    SchedulerRef,
     SyntheticWorkloadRef,
     WorkloadRef,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "RunSpec",
     "ClusterRef",
     "PolicyRef",
+    "SchedulerRef",
+    "NODE_POLICY_NAMES",
     "SyntheticWorkloadRef",
     "InSituWorkloadRef",
     "HighPriorityWorkloadRef",

@@ -17,10 +17,12 @@ import sys
 
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import (
+    NODE_POLICY_NAMES,
     POLICY_REGISTRY,
     CampaignSpec,
     ClusterRef,
     PolicyRef,
+    SchedulerRef,
     SyntheticWorkloadRef,
 )
 from repro.workload.generator import POISSON, UNIFORM, WorkloadSpec
@@ -46,6 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "uses seed+i (default 0)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (default 1 = in-process)")
+    sweep.add_argument("--backfill", choices=("off", "on", "both"), default="off",
+                       help="controller backfill: off, on, or sweep both "
+                            "as a scheduler axis (default off)")
+    sweep.add_argument("--node-policies", default="",
+                       help="comma-separated node-selection policies "
+                            f"({','.join(sorted(NODE_POLICY_NAMES))}) swept as "
+                            "a scheduler axis; empty = stock node order")
+    sweep.add_argument("--store", default=None, metavar="ROOT",
+                       help="content-addressed result store: cells already in "
+                            "the store are served from it, fresh rows are "
+                            "written back (created if missing)")
 
     cluster = parser.add_argument_group("cluster")
     cluster.add_argument("--nnodes", type=int, default=4,
@@ -92,6 +105,18 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         )
     else:
         policies = (None,)
+    backfills = {"off": (False,), "on": (True,), "both": (False, True)}[args.backfill]
+    if args.node_policies.strip():
+        node_policies: tuple[str | None, ...] = tuple(
+            p.strip() for p in args.node_policies.split(",") if p.strip()
+        )
+    else:
+        node_policies = (None,)
+    schedulers = tuple(
+        SchedulerRef(backfill=backfill, node_policy=node_policy)
+        for backfill in backfills
+        for node_policy in node_policies
+    )
     return CampaignSpec(
         name="cli-sweep",
         workloads=workloads,
@@ -105,19 +130,37 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
             ),
         ),
         policies=policies,
+        schedulers=schedulers,
     )
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    spec = build_spec(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = build_spec(args)
+    except ValueError as exc:
+        # Bad registry names (--policies, --node-policies, --scenarios) read
+        # like any other usage error instead of a traceback.
+        parser.error(str(exc))
     print(
         f"campaign {spec.name!r}: {spec.nruns} runs "
         f"({len(spec.workloads)} workloads x {len(spec.scenarios)} scenarios "
-        f"x {len(spec.policies)} policies) on {args.workers} worker(s)"
+        f"x {len(spec.policies)} policies x {len(spec.schedulers)} schedulers) "
+        f"on {args.workers} worker(s)"
     )
-    result = run_campaign(spec, workers=args.workers)
+    store = None
+    if args.store is not None:
+        from repro.results.store import ResultStore
+
+        store = ResultStore(args.store)
+    result = run_campaign(spec, workers=args.workers, store=store)
     print(result.to_table())
+    if store is not None:
+        print(
+            f"\nstore {store.root}: {result.cache_hits} cache hit(s), "
+            f"{result.executed} simulated, {len(store)} cell(s) stored"
+        )
 
     by_scenario = result.by_scenario()
     if SERIAL in by_scenario and DROM in by_scenario:

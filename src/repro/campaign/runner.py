@@ -21,9 +21,15 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Iterable
 
 from repro.campaign.spec import CampaignSpec, RunSpec, WorkloadRef
 from repro.workload.runner import DROM, SERIAL, ScenarioResult, ScenarioRunner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.results.sinks import TraceSink
+    from repro.results.store import ResultStore
 
 
 def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
@@ -41,21 +47,33 @@ def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
         cluster=run.cluster.build(),
         policy=run.policy.build() if run.policy is not None else None,
         interference=interference,
+        backfill=run.scheduler.backfill,
+        node_policy=run.scheduler.node_policy,
     )
     return runner.run(workload, trace=trace)
 
 
 def run_scenario_pair(
-    workload: WorkloadRef, trace: bool = True, **run_kwargs
+    workload: WorkloadRef,
+    trace: bool = True,
+    sinks: Iterable["TraceSink"] = (),
+    **run_kwargs,
 ) -> dict[str, ScenarioResult]:
-    """Serial and DROM full results of one workload (the experiments' idiom)."""
-    return {
-        scenario: execute_run(
-            RunSpec(index=i, scenario=scenario, workload=workload, **run_kwargs),
-            trace=trace,
-        )
-        for i, scenario in enumerate((SERIAL, DROM))
-    }
+    """Serial and DROM full results of one workload (the experiments' idiom).
+
+    ``sinks`` receive each scenario's full result (tracing is forced on when
+    any sink is given), so the figure experiments export their traces through
+    the same sink API as campaigns.
+    """
+    sinks = tuple(sinks)
+    results: dict[str, ScenarioResult] = {}
+    for i, scenario in enumerate((SERIAL, DROM)):
+        run = RunSpec(index=i, scenario=scenario, workload=workload, **run_kwargs)
+        result = execute_run(run, trace=trace or bool(sinks))
+        for sink in sinks:
+            sink.write(run, result)
+        results[scenario] = result
+    return results
 
 
 @dataclass(frozen=True)
@@ -103,9 +121,19 @@ def summarise_run(run: RunSpec, result: ScenarioResult) -> RunMetrics:
     )
 
 
-def _execute_and_summarise(run: RunSpec) -> RunMetrics:
-    """Pool worker entry point (module-level so it pickles)."""
-    return summarise_run(run, execute_run(run, trace=False))
+def _execute_and_summarise(
+    run: RunSpec, sinks: tuple["TraceSink", ...] = ()
+) -> RunMetrics:
+    """Pool worker entry point (module-level so it pickles).
+
+    Tracing is enabled only when sinks want the full trace; each worker
+    writes its own runs' trace files (sink outputs are keyed per run, so
+    concurrent workers never collide).
+    """
+    result = execute_run(run, trace=bool(sinks))
+    for sink in sinks:
+        sink.write(run, result)
+    return summarise_run(run, result)
 
 
 @dataclass(frozen=True)
@@ -114,6 +142,10 @@ class CampaignResult:
 
     name: str
     rows: tuple[RunMetrics, ...]
+    #: How many rows were served from a result store instead of simulated.
+    cache_hits: int = 0
+    #: How many rows were actually simulated (``len(rows) - cache_hits``).
+    executed: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -155,6 +187,7 @@ class CampaignResult:
                 m.workload_name,
                 m.run.cluster.label,
                 m.run.policy.name if m.run.policy is not None else "default",
+                m.run.scheduler.label,
                 f"{m.total_run_time:.3f}",
                 f"{m.average_response_time:.3f}",
                 f"{m.makespan_end:.3f}",
@@ -168,6 +201,7 @@ class CampaignResult:
                 "Workload",
                 "Cluster",
                 "Policy",
+                "Scheduler",
                 "Total run time (s)",
                 "Avg response (s)",
                 "Makespan end (s)",
@@ -176,22 +210,63 @@ class CampaignResult:
         )
 
 
-def run_campaign(spec: CampaignSpec, workers: int = 1) -> CampaignResult:
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    store: "ResultStore | None" = None,
+    sinks: Iterable["TraceSink"] = (),
+) -> CampaignResult:
     """Execute every run of ``spec`` and aggregate the metrics.
 
     ``workers=1`` executes in-process; ``workers>1`` fans the runs out over a
     ``multiprocessing`` pool.  Both paths return identical results for the
     same spec: each run is a pure function of its :class:`RunSpec` and rows
     are aggregated in run-index order regardless of completion order.
+
+    ``store`` memoises execution on the run's content hash: cells already in
+    the :class:`~repro.results.store.ResultStore` are served from it (no
+    simulation), only the misses execute, and fresh rows are written back.
+    Because stored rows are rebound to the requesting grid index and
+    aggregation stays in run-index order, a warm campaign is byte-identical
+    to a cold one.
+
+    ``sinks`` receive the full :class:`~repro.workload.runner.ScenarioResult`
+    of every run that actually executes (cache hits carry no tracer, so they
+    are not re-exported).
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
     runs = spec.expand()
-    if workers == 1:
-        rows = [_execute_and_summarise(run) for run in runs]
+    sinks = tuple(sinks)
+    rows_by_index: dict[int, RunMetrics] = {}
+    if store is not None:
+        misses = []
+        for run in runs:
+            cached = store.get(run)
+            if cached is not None:
+                rows_by_index[run.index] = cached
+            else:
+                misses.append(run)
+    else:
+        misses = list(runs)
+    worker = partial(_execute_and_summarise, sinks=sinks)
+    if not misses:
+        fresh: list[RunMetrics] = []
+    elif workers == 1:
+        fresh = [worker(run) for run in misses]
     else:
         # chunksize=1 keeps the work spread even when run times are skewed;
         # Pool.map returns results in submission order, preserving run order.
-        with multiprocessing.Pool(processes=min(workers, len(runs))) as pool:
-            rows = pool.map(_execute_and_summarise, runs, chunksize=1)
-    return CampaignResult(name=spec.name, rows=tuple(rows))
+        with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
+            fresh = pool.map(worker, misses, chunksize=1)
+    for row in fresh:
+        rows_by_index[row.run.index] = row
+        if store is not None:
+            store.put(row)
+    rows = tuple(rows_by_index[run.index] for run in runs)
+    return CampaignResult(
+        name=spec.name,
+        rows=rows,
+        cache_hits=len(runs) - len(misses),
+        executed=len(misses),
+    )

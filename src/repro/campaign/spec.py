@@ -26,6 +26,7 @@ from repro.cpuset.distribution import (
     SocketAwareEquipartition,
 )
 from repro.cpuset.topology import ClusterTopology
+from repro.slurm.policies import NODE_POLICY_FACTORIES
 from repro.workload.generator import WorkloadSpec, generate_workload
 from repro.workload.runner import DROM, SERIAL
 from repro.workload.workloads import (
@@ -158,6 +159,43 @@ class HighPriorityWorkloadRef:
 
 WorkloadRef = Union[SyntheticWorkloadRef, InSituWorkloadRef, HighPriorityWorkloadRef]
 
+#: Node-selection policies selectable by name on a :class:`SchedulerRef` —
+#: the key set of :data:`repro.slurm.policies.NODE_POLICY_FACTORIES`.
+#: ``lowest-utilisation`` is wired to the live DROM statistics modules by the
+#: scenario runner (it needs per-run measured data, so it cannot be built
+#: here); the other two are stateless.
+NODE_POLICY_NAMES = tuple(sorted(NODE_POLICY_FACTORIES))
+
+
+@dataclass(frozen=True)
+class SchedulerRef:
+    """Controller options of one run: backfill × node-selection policy.
+
+    Exposes :class:`~repro.slurm.slurmctld.Slurmctld`'s existing knobs as a
+    campaign axis, so backfill × victim-selection sweeps are declarative like
+    everything else.  ``node_policy=None`` keeps the stock configuration
+    order.
+    """
+
+    backfill: bool = False
+    node_policy: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.node_policy is not None and self.node_policy not in NODE_POLICY_NAMES:
+            raise ValueError(
+                f"unknown node policy {self.node_policy!r}; "
+                f"choose from {sorted(NODE_POLICY_NAMES)}"
+            )
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.backfill:
+            parts.append("backfill")
+        if self.node_policy is not None:
+            parts.append(self.node_policy)
+        return "+".join(parts) if parts else "fcfs"
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -178,6 +216,8 @@ class RunSpec:
     #: ``interference_factor`` times longer (the ablations' oversubscription
     #: model).  ``None`` means no interference, like the paper's measurements.
     interference_factor: float | None = None
+    #: Controller options (backfill, node-selection policy).
+    scheduler: SchedulerRef = SchedulerRef()
 
     def __post_init__(self) -> None:
         if self.scenario not in (SERIAL, DROM):
@@ -186,9 +226,16 @@ class RunSpec:
     @property
     def run_id(self) -> str:
         policy = self.policy.name if self.policy is not None else "default"
+        # Every field that changes what the run computes must appear here:
+        # two ids may only collide when the runs are interchangeable.
+        interference = (
+            f"|x{self.interference_factor:g}"
+            if self.interference_factor is not None
+            else ""
+        )
         return (
             f"{self.index:04d}|{self.scenario}|{self.workload.label}"
-            f"|{self.cluster.label}|{policy}"
+            f"|{self.cluster.label}|{policy}|{self.scheduler.label}{interference}"
         )
 
 
@@ -206,6 +253,7 @@ class CampaignSpec:
     scenarios: tuple[str, ...] = (SERIAL, DROM)
     clusters: tuple[ClusterRef, ...] = (ClusterRef(),)
     policies: tuple[PolicyRef | None, ...] = (None,)
+    schedulers: tuple[SchedulerRef, ...] = (SchedulerRef(),)
     interference_factor: float | None = None
 
     def __post_init__(self) -> None:
@@ -220,32 +268,37 @@ class CampaignSpec:
             raise ValueError("a campaign needs at least one cluster")
         if not self.policies:
             raise ValueError("a campaign needs at least one policy entry")
+        if not self.schedulers:
+            raise ValueError("a campaign needs at least one scheduler entry")
 
     def expand(self) -> list[RunSpec]:
         """Expand the grid into its run list (stable order and indices)."""
         runs: list[RunSpec] = []
         index = 0
         for cluster in self.clusters:
-            for policy in self.policies:
-                for workload in self.workloads:
-                    for scenario in self.scenarios:
-                        runs.append(
-                            RunSpec(
-                                index=index,
-                                scenario=scenario,
-                                workload=workload,
-                                cluster=cluster,
-                                policy=policy,
-                                interference_factor=self.interference_factor,
+            for scheduler in self.schedulers:
+                for policy in self.policies:
+                    for workload in self.workloads:
+                        for scenario in self.scenarios:
+                            runs.append(
+                                RunSpec(
+                                    index=index,
+                                    scenario=scenario,
+                                    workload=workload,
+                                    cluster=cluster,
+                                    policy=policy,
+                                    interference_factor=self.interference_factor,
+                                    scheduler=scheduler,
+                                )
                             )
-                        )
-                        index += 1
+                            index += 1
         return runs
 
     @property
     def nruns(self) -> int:
         return (
             len(self.clusters)
+            * len(self.schedulers)
             * len(self.policies)
             * len(self.workloads)
             * len(self.scenarios)

@@ -98,15 +98,21 @@ def _comparison_from_rows(
 
 
 def compare_workloads(
-    refs: list[InSituWorkloadRef], workers: int = 1
+    refs: list[InSituWorkloadRef], workers: int = 1, store=None
 ) -> list[WorkloadComparison]:
-    """Run the Serial+DROM campaign of several workloads and pair the rows."""
+    """Run the Serial+DROM campaign of several workloads and pair the rows.
+
+    ``store`` (a :class:`~repro.results.store.ResultStore`) memoises the
+    cells: the figure sweeps overlap heavily (Figures 4/6 share every cell,
+    Figure 8 is a superset of both), so one warm store serves a whole
+    use-case-1 regeneration with only the first sweep simulating.
+    """
     spec = CampaignSpec(
         name="usecase1",
         workloads=tuple(refs),
         scenarios=(SERIAL, DROM),
     )
-    result = run_campaign(spec, workers=workers)
+    result = run_campaign(spec, workers=workers, store=store)
     comparisons = []
     for cell in result.scenario_pairs():
         serial, drom = cell[SERIAL], cell[DROM]
@@ -119,58 +125,65 @@ def compare_workload(
     simulator_config: str,
     analytics: str,
     analytics_config: str,
+    store=None,
 ) -> WorkloadComparison:
     """Run the Serial and DROM scenarios of one simulator+analytics workload."""
     ref = InSituWorkloadRef(simulator, simulator_config, analytics, analytics_config)
-    return compare_workloads([ref])[0]
+    return compare_workloads([ref], store=store)[0]
 
 
 # -- Figures 4/9 (total run time, simulator + Pils) --------------------------------------
 
 
-def simulator_pils_run_time(simulator: str) -> list[WorkloadComparison]:
+def simulator_pils_run_time(simulator: str, store=None) -> list[WorkloadComparison]:
     """Figure 4 (NEST) / Figure 9 (CoreNeuron): total run time vs Pils config."""
     return compare_workloads(
         [
             InSituWorkloadRef(simulator, sim_conf, "Pils", pils_conf)
             for sim_conf in SIMULATOR_CONFIGS
             for pils_conf in PILS_CONFIGS
-        ]
+        ],
+        store=store,
     )
 
 
 # -- Figures 6/10 (individual response times, simulator + Pils) -----------------------------
 
 
-def simulator_pils_response(simulator: str) -> list[WorkloadComparison]:
+def simulator_pils_response(simulator: str, store=None) -> list[WorkloadComparison]:
     """Figure 6 (NEST) / Figure 10 (CoreNeuron): per-job response times."""
-    return simulator_pils_run_time(simulator)
+    return simulator_pils_run_time(simulator, store=store)
 
 
 # -- Figures 7/11 (simulator + STREAM) ------------------------------------------------------
 
 
-def simulator_stream(simulator: str) -> list[WorkloadComparison]:
+def simulator_stream(simulator: str, store=None) -> list[WorkloadComparison]:
     """Figure 7 (NEST) / Figure 11 (CoreNeuron): run time and response with STREAM."""
     return compare_workloads(
         [
             InSituWorkloadRef(simulator, sim_conf, "STREAM", "Conf. 1")
             for sim_conf in SIMULATOR_CONFIGS
-        ]
+        ],
+        store=store,
     )
 
 
 # -- Figures 8/12 (average response time over all workloads of one simulator) ------------------
 
 
-def simulator_average_response(simulator: str) -> list[WorkloadComparison]:
-    """Figure 8 (NEST) / Figure 12 (CoreNeuron): average response times."""
+def simulator_average_response(simulator: str, store=None) -> list[WorkloadComparison]:
+    """Figure 8 (NEST) / Figure 12 (CoreNeuron): average response times.
+
+    With a warm ``store`` this whole sweep is served from cache — its grid is
+    exactly the union of the Figure 4/6 and Figure 7 grids.
+    """
     refs = []
     for sim_conf in SIMULATOR_CONFIGS:
         for pils_conf in PILS_CONFIGS:
             refs.append(InSituWorkloadRef(simulator, sim_conf, "Pils", pils_conf))
         refs.append(InSituWorkloadRef(simulator, sim_conf, "STREAM", "Conf. 1"))
-    return compare_workloads(refs)
+    return compare_workloads(refs, store=store)
 
 
 # -- Figure 5 (imbalance trace after shrinking) ---------------------------------------------------
@@ -265,10 +278,15 @@ def scenario_timelines(
     simulator_config: str = "Conf. 1",
     analytics: str = "Pils",
     analytics_config: str = "Conf. 2",
+    sinks=(),
 ) -> dict[str, ScenarioTimeline]:
-    """Reproduce the Figure 3 schematic from actual simulated runs."""
+    """Reproduce the Figure 3 schematic from actual simulated runs.
+
+    ``sinks`` export both scenarios' traces via the
+    :class:`~repro.results.sinks.TraceSink` API.
+    """
     ref = InSituWorkloadRef(simulator, simulator_config, analytics, analytics_config)
-    results = run_scenario_pair(ref)
+    results = run_scenario_pair(ref, sinks=sinks)
     workload = results[DROM].workload
     timelines: dict[str, ScenarioTimeline] = {}
     for scenario, result in results.items():

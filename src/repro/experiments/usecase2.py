@@ -121,10 +121,16 @@ class UseCase2Result:
         return any(change.new_threads > 8 for change in changes)
 
 
-def run_usecase2(second_submit: float = 120.0) -> UseCase2Result:
-    """Run both scenarios of use case 2 through the campaign API."""
+def run_usecase2(second_submit: float = 120.0, sinks=()) -> UseCase2Result:
+    """Run both scenarios of use case 2 through the campaign API.
+
+    ``sinks`` (:class:`~repro.results.sinks.TraceSink` instances) receive
+    both scenarios' full results — the paper's Figure 13 timelines come from
+    exactly these traces, so exporting them as ``.prv``/JSONL makes the
+    use case inspectable post hoc.
+    """
     ref = HighPriorityWorkloadRef(second_submit=second_submit)
-    results = run_scenario_pair(ref)
+    results = run_scenario_pair(ref, sinks=sinks)
     workload = results[DROM].workload
     return UseCase2Result(
         serial=results[SERIAL],

@@ -1,0 +1,66 @@
+"""Persistent results layer — the seam between execution and reporting.
+
+PR 1 made the paper's evaluation grid declarative (`repro.campaign`); this
+package makes it *persistent and reusable*:
+
+* :mod:`repro.results.store` — a content-addressed
+  :class:`~repro.results.store.ResultStore`: every run is keyed by a stable
+  hash of its :class:`~repro.campaign.spec.RunSpec` contents (scenario,
+  workload reference + seed, cluster, mask policy, scheduler options,
+  interference — and *not* its grid index), and its
+  :class:`~repro.campaign.runner.RunMetrics` row persists as one JSON file.
+  ``run_campaign(..., store=...)`` consults the store first and simulates
+  only the misses; cached and fresh campaigns aggregate byte-identically.
+  Stores merge by key union, which is the cross-host sharding path.
+* :mod:`repro.results.sinks` — opt-in per-run trace sinks: a Paraver-style
+  ``.prv`` export and a JSONL export of the full execution trace, fed by
+  ``run_campaign(..., sinks=...)`` / ``run_scenario_pair(..., sinks=...)``.
+* :mod:`repro.results.query` — list / show / diff reporting over stores,
+  also available as ``python -m repro.results ls|show|diff|gc``.
+"""
+
+from repro.results.query import (
+    StoreDiff,
+    diff_stores,
+    render_diff,
+    render_entry,
+    render_store_table,
+)
+from repro.results.sinks import (
+    JsonlTraceSink,
+    ParaverTraceSink,
+    TraceSink,
+    read_jsonl_trace,
+    read_prv,
+    run_stem,
+)
+from repro.results.store import (
+    DEFAULT_STORE_ROOT,
+    STORE_FORMAT_VERSION,
+    ResultStore,
+    StoreEntry,
+    content_key,
+    spec_contents,
+    spec_from_contents,
+)
+
+__all__ = [
+    "ResultStore",
+    "StoreEntry",
+    "DEFAULT_STORE_ROOT",
+    "STORE_FORMAT_VERSION",
+    "content_key",
+    "spec_contents",
+    "spec_from_contents",
+    "TraceSink",
+    "ParaverTraceSink",
+    "JsonlTraceSink",
+    "read_prv",
+    "read_jsonl_trace",
+    "run_stem",
+    "StoreDiff",
+    "diff_stores",
+    "render_diff",
+    "render_entry",
+    "render_store_table",
+]

@@ -1,0 +1,108 @@
+"""``python -m repro.results`` — inspect and maintain a result store.
+
+Subcommands::
+
+    ls    [--store ROOT]                    list stored cells
+    show  KEY [--store ROOT]                per-job metrics of one cell
+    diff  STORE_A STORE_B                   cell-by-cell campaign comparison
+    gc    [--store ROOT] [filters] [--delete]   collect entries
+
+``diff`` exits 0 when the stores agree on every shared cell and have the same
+key set, 1 otherwise — so two shards (or a re-run) can be verified from CI.
+``gc`` is a dry run unless ``--delete`` is given; unreadable or old-format
+entries are always candidates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.results.query import diff_stores, render_diff, render_entry, render_store_table
+from repro.results.store import DEFAULT_STORE_ROOT, ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.results",
+        description="Inspect a content-addressed campaign result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ls = sub.add_parser("ls", help="list stored cells")
+    ls.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
+                    help=f"store root (default {DEFAULT_STORE_ROOT})")
+
+    show = sub.add_parser("show", help="show one cell's full metrics")
+    show.add_argument("key", help="content key (an unambiguous prefix is enough)")
+    show.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
+                      help=f"store root (default {DEFAULT_STORE_ROOT})")
+
+    diff = sub.add_parser("diff", help="diff two stores cell by cell")
+    diff.add_argument("store_a")
+    diff.add_argument("store_b")
+
+    gc = sub.add_parser("gc", help="collect entries (dry run without --delete)")
+    gc.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
+                    help=f"store root (default {DEFAULT_STORE_ROOT})")
+    gc.add_argument("--scenario", default=None,
+                    help="also collect entries of this scenario")
+    gc.add_argument("--workload-contains", default=None, metavar="SUBSTRING",
+                    help="also collect entries whose workload label contains this")
+    gc.add_argument("--all", action="store_true",
+                    help="collect every entry")
+    gc.add_argument("--delete", action="store_true",
+                    help="actually delete (default: dry run)")
+    return parser
+
+
+def _gc_predicate(args: argparse.Namespace):
+    if args.all:
+        return lambda entry: True
+    if args.scenario is None and args.workload_contains is None:
+        return None  # only unreadable/old-format entries
+    def predicate(entry) -> bool:
+        if args.scenario is not None and entry.contents["scenario"] != args.scenario:
+            return False
+        if (
+            args.workload_contains is not None
+            and args.workload_contains not in entry.run.workload.label
+        ):
+            return False
+        return True
+    return predicate
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "ls":
+        store = ResultStore(args.store)
+        print(f"store {store.root}: {len(store)} cell(s)")
+        print(render_store_table(store))
+        return 0
+    if args.command == "show":
+        store = ResultStore(args.store)
+        try:
+            entry = store.load(args.key)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        print(render_entry(entry))
+        return 0
+    if args.command == "diff":
+        diff = diff_stores(ResultStore(args.store_a), ResultStore(args.store_b))
+        print(render_diff(diff))
+        return 0 if diff.identical else 1
+    if args.command == "gc":
+        store = ResultStore(args.store)
+        removed = store.gc(_gc_predicate(args), dry_run=not args.delete)
+        verb = "removed" if args.delete else "would remove"
+        print(f"gc {store.root}: {verb} {len(removed)} entr(y/ies)")
+        for key in removed:
+            print(f"  {key[:12]}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

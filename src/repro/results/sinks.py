@@ -1,0 +1,255 @@
+"""Per-run trace sinks: Paraver-style ``.prv`` and JSONL exports.
+
+The paper's evaluation is *read* through Paraver: traces captured with Extrae
+are rendered as timelines (Figures 3, 5, 13).  ``run_campaign`` historically
+discarded the tracers its runs produced; a :class:`TraceSink` receives the
+full :class:`~repro.workload.runner.ScenarioResult` of every run it executes
+and persists the trace.
+
+Two sinks are provided:
+
+* :class:`ParaverTraceSink` — a ``.prv``-style export in the spirit of the
+  Paraver trace format: a ``#Paraver`` header (with the run's horizon from
+  :class:`~repro.metrics.paraver.ParaverView`), ``1:`` state records (one per
+  step per thread) and ``2:`` event records (thread-count changes from DROM
+  mask updates, per-step IPC and phase).  Times are integer microseconds.
+* :class:`JsonlTraceSink` — one JSON object per record, trivially loadable
+  from any analysis environment; :func:`read_jsonl_trace` round-trips it back
+  into a :class:`~repro.metrics.tracing.Tracer`.
+
+Both sinks derive their file names from the run's content key, so re-exports
+of the same cell overwrite instead of accumulating, and concurrent pool
+workers never collide (distinct runs have distinct keys).  Sinks are plain
+picklable dataclasses: the campaign runner ships them into its worker pool
+and each worker writes its own runs' files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.campaign.spec import RunSpec
+from repro.metrics.paraver import ParaverView
+from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.results.store import content_key
+from repro.workload.runner import ScenarioResult
+
+#: Event types of the ``.prv``-style export (the 9 200 000 range is unused by
+#: the standard Extrae event tables).
+EV_THREAD_COUNT = 9200001  #: team size after a DROM mask change
+EV_STEP_IPC_MILLI = 9200002  #: step IPC × 1000 (``.prv`` values are integers)
+EV_STEP_PHASE = 9200003  #: 1-based index into the run's phase-name table
+
+#: Paraver state identifiers (state record field 7).
+STATE_RUNNING = 1
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Receives the full result of each executed campaign run."""
+
+    def write(self, run: RunSpec, result: ScenarioResult) -> Path:
+        """Persist the run's trace; returns the written file's path."""
+        ...
+
+
+def run_stem(run: RunSpec) -> str:
+    """Deterministic per-run file stem: grid index, scenario, content key."""
+    return f"{run.index:04d}-{run.scenario}-{content_key(run)[:12]}"
+
+
+def _us(t: float) -> int:
+    return int(round(t * 1_000_000))
+
+
+@dataclass(frozen=True)
+class ParaverTraceSink:
+    """Writes one ``.prv``-style trace file per run under ``root``."""
+
+    root: str | os.PathLike
+
+    def write(self, run: RunSpec, result: ScenarioResult) -> Path:
+        tracer = result.tracer
+        view = ParaverView(tracer) if len(tracer) else None
+        ftime = _us(view.horizon()) if view is not None else 0
+
+        jobs = tracer.jobs()
+        appl = {job: i + 1 for i, job in enumerate(jobs)}
+        nodes = sorted({step.node for step in tracer})
+        cpu = {node: i + 1 for i, node in enumerate(nodes)}
+        # Where each rank runs, for records that don't carry a node themselves
+        # (mask changes); ranks never migrate nodes within a run.
+        rank_cpu = {(step.job, step.rank): cpu[step.node] for step in tracer}
+        phases = sorted({step.phase for step in tracer})
+        phase_id = {name: i + 1 for i, name in enumerate(phases)}
+
+        # Application list: one app per job, one task per rank, with the
+        # maximum team size the rank ever ran with.
+        appl_list = []
+        for job in jobs:
+            ranks = sorted({step.rank for step in tracer.steps(job)})
+            threads = [
+                max(step.nthreads for step in tracer.steps(job, rank)) for rank in ranks
+            ]
+            appl_list.append(
+                f"{len(ranks)}({','.join(f'{t}:{r + 1}' for r, t in zip(ranks, threads))})"
+            )
+        header = (
+            "#Paraver (01/01/2000 at 00:00)"
+            f":{ftime}_us:{max(len(nodes), 1)}({','.join('1' for _ in nodes) or '1'})"
+            f":{len(jobs)}:{':'.join(appl_list)}"
+        )
+
+        # (time, sort class, recording sequence, line): same-time records keep
+        # their recording order, so re-exports are deterministic.
+        records: list[tuple[int, int, int, str]] = []
+        for step in tracer:
+            for thread in range(step.nthreads):
+                records.append(
+                    (
+                        _us(step.start),
+                        0,
+                        len(records),
+                        f"{STATE_RUNNING}:{cpu[step.node]}:{appl[step.job]}"
+                        f":{step.rank + 1}:{thread + 1}"
+                        f":{_us(step.start)}:{_us(step.end)}:{STATE_RUNNING}",
+                    )
+                )
+            records.append(
+                (
+                    _us(step.start),
+                    1,
+                    len(records),
+                    f"2:{cpu[step.node]}:{appl[step.job]}:{step.rank + 1}:1"
+                    f":{_us(step.start)}"
+                    f":{EV_STEP_IPC_MILLI}:{int(round(step.ipc * 1000))}"
+                    f":{EV_STEP_PHASE}:{phase_id[step.phase]}",
+                )
+            )
+        for change in tracer.mask_changes():
+            job_appl = appl.get(change.job)
+            if job_appl is None:
+                continue  # job produced no steps; nothing to anchor the event to
+            records.append(
+                (
+                    _us(change.time),
+                    2,
+                    len(records),
+                    f"2:{rank_cpu.get((change.job, change.rank), 1)}"
+                    f":{job_appl}:{change.rank + 1}:1:{_us(change.time)}"
+                    f":{EV_THREAD_COUNT}:{change.new_threads}",
+                )
+            )
+        records.sort(key=lambda r: (r[0], r[1], r[2]))
+
+        lines = [header]
+        # Phase-name table as comments, so the .prv stays self-describing
+        # without a separate .pcf file.
+        for name in phases:
+            lines.append(f"# phase {phase_id[name]} {name}")
+        lines.extend(line for _t, _c, _s, line in records)
+
+        root = Path(self.root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{run_stem(run)}.prv"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+def read_prv(path: str | os.PathLike) -> tuple[str, list[str], list[str]]:
+    """Split a ``.prv``-style file into (header, state lines, event lines)."""
+    lines = Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("#Paraver"):
+        raise ValueError(f"{path} is not a .prv-style trace")
+    states = [line for line in lines[1:] if line.startswith("1:")]
+    events = [line for line in lines[1:] if line.startswith("2:")]
+    return lines[0], states, events
+
+
+@dataclass(frozen=True)
+class JsonlTraceSink:
+    """Writes one JSONL trace file per run under ``root``."""
+
+    root: str | os.PathLike
+
+    def write(self, run: RunSpec, result: ScenarioResult) -> Path:
+        lines = [
+            json.dumps(
+                {
+                    "record": "run",
+                    "key": content_key(run),
+                    "run_id": run.run_id,
+                    "scenario": run.scenario,
+                    "workload": result.workload.name,
+                    "end_time": result.end_time,
+                },
+                sort_keys=True,
+            )
+        ]
+        for step in result.tracer:
+            lines.append(
+                json.dumps(
+                    {
+                        "record": "step",
+                        "job": step.job,
+                        "rank": step.rank,
+                        "node": step.node,
+                        "start": step.start,
+                        "duration": step.duration,
+                        "phase": step.phase,
+                        "nthreads": step.nthreads,
+                        "thread_utilisation": list(step.thread_utilisation),
+                        "ipc": step.ipc,
+                        "work_units": step.work_units,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for change in result.tracer.mask_changes():
+            lines.append(
+                json.dumps(
+                    {
+                        "record": "mask_change",
+                        "job": change.job,
+                        "rank": change.rank,
+                        "time": change.time,
+                        "old_threads": change.old_threads,
+                        "new_threads": change.new_threads,
+                    },
+                    sort_keys=True,
+                )
+            )
+        root = Path(self.root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{run_stem(run)}.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+def read_jsonl_trace(path: str | os.PathLike) -> tuple[dict, Tracer]:
+    """Round-trip a :class:`JsonlTraceSink` file back into a tracer.
+
+    Returns the run-header object and a :class:`Tracer` holding the step and
+    mask-change records in file order.
+    """
+    header: dict | None = None
+    tracer = Tracer()
+    for line in Path(path).read_text().splitlines():
+        record = json.loads(line)
+        kind = record.pop("record")
+        if kind == "run":
+            header = record
+        elif kind == "step":
+            record["thread_utilisation"] = tuple(record["thread_utilisation"])
+            tracer.record_step(StepRecord(**record))
+        elif kind == "mask_change":
+            tracer.record_mask_change(MaskChangeRecord(**record))
+        else:
+            raise ValueError(f"unknown record type {kind!r} in {path}")
+    if header is None:
+        raise ValueError(f"{path} has no run header record")
+    return header, tracer

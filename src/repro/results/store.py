@@ -1,0 +1,322 @@
+"""Content-addressed persistence for campaign run metrics.
+
+The store keys every run by a **stable hash of the run spec's contents** —
+scenario, workload reference (including its generator seed), cluster, mask
+policy, scheduler options and interference factor — and deliberately *not*
+the grid ``index``: the same cell appearing at position 3 of one campaign and
+position 17 of another is the same simulation and must share one entry.
+
+Entries are small JSON documents (one per key) under a configurable root, so
+the store needs no server, diffs cleanly under version control if someone
+chooses to commit one, and two stores produced by different hosts shard a
+campaign naturally: :meth:`ResultStore.merge` is a plain union of keys.
+
+Determinism contract: a :class:`~repro.campaign.runner.RunMetrics` row
+survives the JSON round trip byte-for-byte (Python floats serialise via
+``repr``, which is shortest-round-trip exact), and :meth:`ResultStore.get`
+rebinds the stored metrics to the *requesting* spec's grid index — so a
+campaign aggregated from cache is indistinguishable from a freshly simulated
+one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.campaign.runner import RunMetrics
+from repro.campaign.spec import (
+    ClusterRef,
+    HighPriorityWorkloadRef,
+    InSituWorkloadRef,
+    PolicyRef,
+    RunSpec,
+    SchedulerRef,
+    SyntheticWorkloadRef,
+    WorkloadRef,
+)
+from repro.workload.generator import AppMixEntry, WorkloadSpec
+
+#: Default persistent location (gitignored; see ``.gitignore``).
+DEFAULT_STORE_ROOT = Path("benchmarks") / "results" / "store"
+
+#: Bumped whenever the entry layout or the content-hash inputs change; old
+#: entries are then simply cache misses (and ``gc`` collects them).
+STORE_FORMAT_VERSION = 1
+
+
+# -- canonical spec (de)serialisation ------------------------------------------------
+
+
+def _workload_to_dict(ref: WorkloadRef) -> dict:
+    payload = asdict(ref)
+    payload["type"] = type(ref).__name__
+    return payload
+
+
+_WORKLOAD_TYPES = {
+    cls.__name__: cls
+    for cls in (SyntheticWorkloadRef, InSituWorkloadRef, HighPriorityWorkloadRef)
+}
+
+
+def _workload_from_dict(payload: dict) -> WorkloadRef:
+    kind = payload["type"]
+    if kind not in _WORKLOAD_TYPES:
+        raise ValueError(f"unknown workload reference type {kind!r}")
+    if kind == "SyntheticWorkloadRef":
+        spec = payload["spec"]
+        return SyntheticWorkloadRef(
+            spec=WorkloadSpec(
+                njobs=spec["njobs"],
+                arrival=spec["arrival"],
+                mean_interarrival=spec["mean_interarrival"],
+                app_mix=tuple(AppMixEntry(**entry) for entry in spec["app_mix"]),
+                priority_levels=tuple(spec["priority_levels"]),
+                nodes=spec["nodes"],
+                work_scale=spec["work_scale"],
+                iterations=spec["iterations"],
+                name=spec["name"],
+            ),
+            seed=payload["seed"],
+        )
+    if kind == "InSituWorkloadRef":
+        return InSituWorkloadRef(
+            simulator=payload["simulator"],
+            simulator_config=payload["simulator_config"],
+            analytics=payload["analytics"],
+            analytics_config=payload["analytics_config"],
+            analytics_submit=payload["analytics_submit"],
+            simulator_kwargs=tuple(
+                (key, value) for key, value in payload["simulator_kwargs"]
+            ),
+        )
+    return HighPriorityWorkloadRef(second_submit=payload["second_submit"])
+
+
+def spec_contents(run: RunSpec) -> dict:
+    """The canonical, JSON-able contents of a run spec — everything that
+    determines what the run computes, and nothing that doesn't (``index``)."""
+    return {
+        "scenario": run.scenario,
+        "workload": _workload_to_dict(run.workload),
+        "cluster": asdict(run.cluster),
+        "policy": run.policy.name if run.policy is not None else None,
+        "scheduler": asdict(run.scheduler),
+        "interference_factor": run.interference_factor,
+    }
+
+
+def spec_from_contents(contents: dict, index: int = 0) -> RunSpec:
+    """Rebuild a run spec from its stored contents (inverse of
+    :func:`spec_contents` up to the grid ``index``)."""
+    policy = contents["policy"]
+    return RunSpec(
+        index=index,
+        scenario=contents["scenario"],
+        workload=_workload_from_dict(contents["workload"]),
+        cluster=ClusterRef(**contents["cluster"]),
+        policy=PolicyRef(policy) if policy is not None else None,
+        interference_factor=contents["interference_factor"],
+        scheduler=SchedulerRef(**contents["scheduler"]),
+    )
+
+
+def content_key(run: RunSpec) -> str:
+    """Stable content hash of a run spec (hex SHA-256 of its canonical JSON)."""
+    payload = json.dumps(spec_contents(run), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- metrics (de)serialisation --------------------------------------------------------
+
+
+def _pairs_to_payload(pairs: tuple[tuple[str, float], ...]) -> list[list]:
+    return [[label, value] for label, value in pairs]
+
+
+def _pairs_from_payload(payload: list) -> tuple[tuple[str, float], ...]:
+    return tuple((label, value) for label, value in payload)
+
+
+def _metrics_to_payload(row: RunMetrics) -> dict:
+    return {
+        "workload_name": row.workload_name,
+        "total_run_time": row.total_run_time,
+        "average_response_time": row.average_response_time,
+        "makespan_end": row.makespan_end,
+        "response_times": _pairs_to_payload(row.response_times),
+        "wait_times": _pairs_to_payload(row.wait_times),
+        "run_times": _pairs_to_payload(row.run_times),
+        "job_utilisation": _pairs_to_payload(row.job_utilisation),
+    }
+
+
+def _metrics_from_payload(run: RunSpec, payload: dict) -> RunMetrics:
+    return RunMetrics(
+        run=run,
+        workload_name=payload["workload_name"],
+        total_run_time=payload["total_run_time"],
+        average_response_time=payload["average_response_time"],
+        makespan_end=payload["makespan_end"],
+        response_times=_pairs_from_payload(payload["response_times"]),
+        wait_times=_pairs_from_payload(payload["wait_times"]),
+        run_times=_pairs_from_payload(payload["run_times"]),
+        job_utilisation=_pairs_from_payload(payload["job_utilisation"]),
+    )
+
+
+# -- the store ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted run: its key, spec contents and raw metrics payload."""
+
+    key: str
+    path: Path
+    contents: dict
+    metrics: dict
+
+    @property
+    def run(self) -> RunSpec:
+        return spec_from_contents(self.contents)
+
+    def row(self, index: int = 0) -> RunMetrics:
+        return _metrics_from_payload(spec_from_contents(self.contents, index), self.metrics)
+
+
+class ResultStore:
+    """Content-addressed, mergeable store of :class:`RunMetrics` rows."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+
+    # -- addressing --------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, run: RunSpec) -> bool:
+        return self.path_for(content_key(run)).exists()
+
+    # -- read/write --------------------------------------------------------------
+
+    def get(self, run: RunSpec) -> RunMetrics | None:
+        """The stored row of ``run``'s cell, rebound to ``run``'s grid index,
+        or ``None`` on a miss (including unreadable, old-format or otherwise
+        malformed entries — a bad cache entry must mean "re-simulate", never
+        abort the campaign)."""
+        path = self.path_for(content_key(run))
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != STORE_FORMAT_VERSION:
+                return None
+            return _metrics_from_payload(run, payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, row: RunMetrics) -> Path:
+        """Persist one row under its content key (idempotent overwrite)."""
+        key = content_key(row.run)
+        payload = {
+            "version": STORE_FORMAT_VERSION,
+            "key": key,
+            "run": spec_contents(row.run),
+            "run_id": row.run.run_id.split("|", 1)[1],  # id minus grid index
+            "metrics": _metrics_to_payload(row),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        # Unique temp name + atomic rename: concurrent writers of the same
+        # cell (pool workers, campaign shards) cannot interleave bytes.
+        tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        tmp.replace(path)
+        return path
+
+    def _read_entry(self, key: str) -> StoreEntry:
+        """Read one entry by exact key; raises ``ValueError``/``KeyError``/
+        ``OSError`` on unreadable, malformed or old-format files."""
+        path = self.path_for(key)
+        payload = json.loads(path.read_text())
+        if payload.get("version") != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"entry {key[:12]} has store format "
+                f"{payload.get('version')!r}, expected {STORE_FORMAT_VERSION}"
+            )
+        return StoreEntry(
+            key=key, path=path, contents=payload["run"], metrics=payload["metrics"]
+        )
+
+    def load(self, key: str) -> StoreEntry:
+        """Read one entry by (possibly abbreviated, unambiguous) key."""
+        matches = [k for k in self.keys() if k.startswith(key)]
+        if not matches:
+            raise KeyError(f"no entry with key {key!r} in {self.root}")
+        if len(matches) > 1:
+            raise KeyError(f"key {key!r} is ambiguous ({len(matches)} matches)")
+        return self._read_entry(matches[0])
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """All live entries, sorted by key (corrupt or old-format files are
+        skipped — same visibility rule as :meth:`get`)."""
+        for key in self.keys():
+            try:
+                yield self._read_entry(key)
+            except (KeyError, ValueError, OSError):
+                continue
+
+    # -- maintenance -------------------------------------------------------------
+
+    def remove(self, key: str) -> None:
+        self.path_for(key).unlink(missing_ok=True)
+
+    def gc(self, predicate=None, dry_run: bool = False) -> list[str]:
+        """Collect entries: unreadable/old-format files always, plus any whose
+        :class:`StoreEntry` satisfies ``predicate``.  Returns removed keys."""
+        doomed: list[str] = []
+        for key in self.keys():
+            try:
+                entry = self._read_entry(key)
+            except (OSError, ValueError, KeyError):
+                doomed.append(key)
+                continue
+            if predicate is not None and predicate(entry):
+                doomed.append(key)
+        if not dry_run:
+            for key in doomed:
+                self.remove(key)
+        return doomed
+
+    def merge(self, other: "ResultStore", overwrite: bool = False) -> int:
+        """Union another store's entries into this one (the campaign-sharding
+        merge path: shards fill disjoint key sets, the union is the campaign).
+
+        Returns the number of entries copied.  With ``overwrite=False`` keys
+        already present locally win, which is safe because entries are pure
+        functions of their key's spec.
+        """
+        copied = 0
+        for key in other.keys():
+            if not overwrite and self.path_for(key).exists():
+                continue
+            self.root.mkdir(parents=True, exist_ok=True)
+            data = other.path_for(key).read_text()
+            tmp = self.root / f".{key}.{os.getpid()}.tmp"
+            tmp.write_text(data)
+            tmp.replace(self.path_for(key))
+            copied += 1
+        return copied

@@ -42,6 +42,20 @@ class NodeSelectionPolicy(ABC):
         """Return the candidates in preference order (no filtering)."""
 
 
+def build_node_policy(
+    name: str, utilisation: UtilisationProvider
+) -> NodeSelectionPolicy:
+    """Build a policy from its registry name (see :data:`NODE_POLICY_FACTORIES`)."""
+    try:
+        factory = NODE_POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown node policy name {name!r}; "
+            f"choose from {sorted(NODE_POLICY_FACTORIES)}"
+        ) from None
+    return factory(utilisation)
+
+
 class FirstFit(NodeSelectionPolicy):
     """Configuration order — what the unmodified slurmctld does."""
 
@@ -88,3 +102,14 @@ class LowestUtilisationFirst(NodeSelectionPolicy):
             return (0, value, state.name)
 
         return sorted(candidates, key=key)
+
+
+#: Single source of truth for by-name node policies: ``SchedulerRef``
+#: validates against these names, the scenario runner builds from them.
+#: Every factory takes the run's utilisation provider (only
+#: ``lowest-utilisation`` actually uses it).
+NODE_POLICY_FACTORIES: dict[str, Callable[[UtilisationProvider], NodeSelectionPolicy]] = {
+    "first-fit": lambda utilisation: FirstFit(),
+    "least-allocated": lambda utilisation: LeastAllocatedFirst(),
+    "lowest-utilisation": LowestUtilisationFirst,
+}

@@ -127,7 +127,14 @@ class ScenarioRunner:
     node_policy:
         Optional :class:`~repro.slurm.policies.NodeSelectionPolicy` forwarded
         to slurmctld (the DROM-aware "victim node" selection of the paper's
-        future work).
+        future work).  May also be a registry name (``"first-fit"``,
+        ``"least-allocated"``, ``"lowest-utilisation"``); names are resolved
+        per run, and ``"lowest-utilisation"`` is wired to the run's live DROM
+        statistics modules so the controller really does pick the nodes whose
+        occupants measure the lowest utilisation.
+    backfill:
+        Forwarded to :class:`~repro.slurm.slurmctld.Slurmctld`: jobs behind a
+        blocked job may start if they fit.
     """
 
     def __init__(
@@ -137,12 +144,14 @@ class ScenarioRunner:
         policy: DistributionPolicy | None = None,
         interference: Callable[[str, str, list[str]], float] | None = None,
         node_policy=None,
+        backfill: bool = False,
     ) -> None:
         self.drom_enabled = drom_enabled
         self.cluster = cluster or ClusterTopology.marenostrum3(2)
         self.policy = policy
         self.interference = interference
         self.node_policy = node_policy
+        self.backfill = backfill
 
     @property
     def scenario(self) -> str:
@@ -192,24 +201,39 @@ class _RunState:
         self.workload = workload
         self.trace = trace
         self.engine = SimulationEngine()
-        self.ctld = Slurmctld(
-            runner.cluster,
-            drom_enabled=runner.drom_enabled,
-            node_policy=runner.node_policy,
-        )
+        # Stats modules must exist before the controller: a by-name node
+        # policy may need the live utilisation data they collect.
         self.slurmds: dict[str, Slurmd] = {
             node.name: Slurmd(node, drom_enabled=runner.drom_enabled, policy=runner.policy)
             for node in runner.cluster.nodes
         }
-        self.srun = Srun(self.slurmds)
-        self.tracer = Tracer()
         self.stats: dict[str, StatsModule] = {
             name: StatsModule(slurmd.shmem) for name, slurmd in self.slurmds.items()
         }
+        self.ctld = Slurmctld(
+            runner.cluster,
+            drom_enabled=runner.drom_enabled,
+            backfill=runner.backfill,
+            node_policy=self._resolve_node_policy(runner.node_policy),
+        )
+        self.srun = Srun(self.slurmds)
+        self.tracer = Tracer()
         self.jobs_by_label: dict[str, Job] = {}
         self.workload_jobs_by_id: dict[int, WorkloadJob] = {}
         self.executions: dict[int, JobExecution] = {}
         self.job_stats: dict[str, list[ProcessStats]] = {}
+
+    def _resolve_node_policy(self, policy):
+        """Build a by-name node policy against this run's statistics."""
+        if policy is None or not isinstance(policy, str):
+            return policy
+        from repro.slurm.policies import build_node_policy
+
+        return build_node_policy(policy, self._node_utilisation)
+
+    def _node_utilisation(self, name: str) -> float | None:
+        summary = self.stats[name].node_summary()
+        return summary.utilisation if summary.nprocesses else None
 
     # -- submission & scheduling ----------------------------------------------------------
 

@@ -11,6 +11,7 @@ from repro.campaign import (
     InSituWorkloadRef,
     PolicyRef,
     RunSpec,
+    SchedulerRef,
     SyntheticWorkloadRef,
     execute_run,
     run_campaign,
@@ -19,8 +20,10 @@ from repro.campaign import (
 )
 from repro.campaign.__main__ import main as campaign_cli
 from repro.cpuset.distribution import SocketAwareEquipartition
+from repro.workload import configs
 from repro.workload.generator import WorkloadSpec
-from repro.workload.runner import DROM, SERIAL
+from repro.workload.runner import DROM, SERIAL, ScenarioRunner
+from repro.workload.workloads import Workload, WorkloadJob
 
 #: Cheap synthetic family for pool tests.
 SMALL = WorkloadSpec(njobs=3, mean_interarrival=90.0, work_scale=0.04, iterations=16)
@@ -119,6 +122,93 @@ class TestExecution:
             RunSpec(index=1, scenario=DROM, workload=ref, interference_factor=1.5)
         )
         assert slowed.metrics.total_run_time > plain.metrics.total_run_time
+
+
+class TestSchedulerAxis:
+    """The backfill × node-selection scheduler axis (ROADMAP follow-on)."""
+
+    def backfill_workload(self) -> Workload:
+        # j1 takes 4 CPUs/node, j2 (16 CPUs/node) blocks behind it, j3
+        # (2 CPUs/node) fits next to j1 — exactly the shape backfill helps.
+        return Workload(
+            name="backfill-shape",
+            jobs=(
+                WorkloadJob(app=configs.pils("Conf. 3"), submit_time=0.0, name="wide"),
+                WorkloadJob(app=configs.nest("Conf. 1"), submit_time=0.0, name="blocked"),
+                WorkloadJob(app=configs.stream("Conf. 1"), submit_time=0.0, name="small"),
+            ),
+            nodes=2,
+        )
+
+    def test_backfill_starts_fitting_job_early(self):
+        workload = self.backfill_workload()
+        fcfs = ScenarioRunner(drom_enabled=False).run(workload, trace=False)
+        backfill = ScenarioRunner(drom_enabled=False, backfill=True).run(
+            workload, trace=False
+        )
+        assert fcfs.metrics.wait_times()["small"] > 0.0
+        assert backfill.metrics.wait_times()["small"] == 0.0
+        assert (
+            backfill.metrics.average_response_time
+            < fcfs.metrics.average_response_time
+        )
+
+    def test_axis_expands_and_labels(self):
+        spec = small_sweep(
+            schedulers=(SchedulerRef(), SchedulerRef(backfill=True)),
+        )
+        runs = spec.expand()
+        assert len(runs) == spec.nruns == 2 * 2 * 2
+        assert len({r.run_id for r in runs}) == len(runs)
+        labels = {r.scheduler.label for r in runs}
+        assert labels == {"fcfs", "backfill"}
+
+    def test_backfill_and_node_policy_sweep_executes(self):
+        spec = small_sweep(
+            nworkloads=1,
+            scenarios=(DROM,),
+            schedulers=(
+                SchedulerRef(),
+                SchedulerRef(backfill=True, node_policy="least-allocated"),
+                SchedulerRef(node_policy="lowest-utilisation"),
+            ),
+        )
+        result = run_campaign(spec)
+        assert len(result) == 3
+        table = result.to_table()
+        assert "backfill+least-allocated" in table
+        assert "lowest-utilisation" in table
+        assert "fcfs" in table
+
+    def test_unknown_node_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown node policy"):
+            SchedulerRef(node_policy="round-robin")
+
+    def test_empty_schedulers_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            small_sweep(schedulers=())
+
+    def test_cli_rejects_unknown_node_policy_as_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            campaign_cli(["--node-policies", "round-robin"])
+        assert exc_info.value.code == 2  # argparse usage error, not a traceback
+        assert "unknown node policy" in capsys.readouterr().err
+
+    def test_cli_backfill_sweep(self, capsys):
+        code = campaign_cli(
+            [
+                "--workloads", "1",
+                "--njobs", "2",
+                "--scenarios", "drom",
+                "--backfill", "both",
+                "--work-scale", "0.04",
+                "--iterations", "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 schedulers" in out
+        assert "backfill" in out and "fcfs" in out
 
 
 class TestDeterminism:

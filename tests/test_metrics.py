@@ -197,3 +197,32 @@ class TestParaverView:
     def test_invalid_bin_size(self):
         with pytest.raises(ValueError):
             ParaverView(Tracer(), bin_seconds=0.0)
+
+    def test_empty_tracer_horizon_zero(self):
+        view = ParaverView(Tracer(), bin_seconds=10.0)
+        assert view.horizon() == 0.0
+        # A horizon-0 view still renders: one all-idle bin per requested job.
+        row = view.job_thread_count("ghost")
+        assert row.values.shape == (1,)
+        assert row.values[0] == 0.0
+        text = view.render_job_widths(["ghost"])
+        assert "ghost" in text
+        assert "one column" in text
+
+    def test_render_with_zero_maximum(self):
+        tracer = TestTracer().make_tracer()
+        view = ParaverView(tracer, bin_seconds=10.0)
+        row = view.job_thread_count("sim")
+        # maximum == 0 must not divide by zero; everything maps to idle.
+        rendered = row.render(0.0)
+        assert rendered == " " * row.values.size
+        assert len(rendered) == len(row.render(4.0))
+
+    def test_render_job_widths_all_idle_rows(self):
+        # Jobs with no steps at all: the shared maximum falls back to 1.0 and
+        # every cell renders idle instead of raising.
+        view = ParaverView(Tracer(), bin_seconds=10.0)
+        text = view.render_job_widths(["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + one row per job
+        assert lines[1].endswith("| |") and lines[2].endswith("| |")
