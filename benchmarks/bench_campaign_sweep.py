@@ -106,3 +106,44 @@ def test_campaign_sweep_store_roundtrip(tmp_path, report):
         f"{warm.to_table() == cold.to_table()}"
     )
     report("campaign_sweep_store", text)
+
+
+def test_campaign_shard_merge_roundtrip(tmp_path, report):
+    """Distributed execution path (ROADMAP: campaign sharding).
+
+    ``CampaignSpec.shard(n)`` deals the workload axis into balanced shard
+    campaigns; each shard runs against its own store (as it would on its own
+    host), the shard stores are merged, and a fully-warm run of the *full*
+    campaign must simulate nothing and reproduce the single-host execution
+    byte for byte.
+    """
+    spec = build_spec()
+    shards = spec.shard(2)
+    assert len(shards) == 2
+    assert sum(s.nruns for s in shards) == spec.nruns
+    # Balanced: the 5 workloads split 3/2.
+    assert {len(s.workloads) for s in shards} == {2, 3}
+
+    shard_stores = []
+    for i, shard in enumerate(shards):
+        store = ResultStore(tmp_path / f"shard-{i}")
+        run_campaign(shard, workers=1, store=store)
+        shard_stores.append(store)
+
+    merged = ResultStore(tmp_path / "merged")
+    copied = sum(merged.merge(store) for store in shard_stores)
+    assert copied == spec.nruns == len(merged)
+
+    warm = run_campaign(spec, workers=1, store=merged)
+    direct = run_campaign(spec, workers=1)
+    assert warm.executed == 0 and warm.cache_hits == spec.nruns
+    assert warm.rows == direct.rows
+    assert warm.to_table() == direct.to_table()
+
+    text = (
+        f"{spec.nruns}-run grid dealt over {len(shards)} shard campaigns "
+        f"({' + '.join(str(s.nruns) for s in shards)} runs), merged "
+        f"{copied} cells, full-campaign warm run simulated {warm.executed} "
+        f"and matched the single-host execution byte for byte."
+    )
+    report("campaign_shard_merge", text)

@@ -14,8 +14,8 @@ from repro.experiments.tables import render_run_time_figure
 from repro.experiments.usecase1 import simulator_pils_run_time
 
 
-def test_figure4_nest_pils_total_run_time(benchmark, report):
-    comparisons = benchmark(simulator_pils_run_time, "NEST")
+def test_figure4_nest_pils_total_run_time(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_pils_run_time, "NEST", store=warm_store)
     report("fig04_nest_pils_runtime", render_run_time_figure(comparisons))
 
     for c in comparisons:

@@ -11,8 +11,8 @@ from repro.experiments.tables import render_response_figure
 from repro.experiments.usecase1 import simulator_pils_response
 
 
-def test_figure6_nest_pils_response_times(benchmark, report):
-    comparisons = benchmark(simulator_pils_response, "NEST")
+def test_figure6_nest_pils_response_times(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_pils_response, "NEST", store=warm_store)
     report("fig06_nest_pils_response", render_response_figure(comparisons))
 
     for c in comparisons:

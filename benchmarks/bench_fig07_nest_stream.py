@@ -12,8 +12,8 @@ from repro.experiments.tables import render_response_figure, render_run_time_fig
 from repro.experiments.usecase1 import simulator_stream
 
 
-def test_figure7_nest_stream(benchmark, report):
-    comparisons = benchmark(simulator_stream, "NEST")
+def test_figure7_nest_stream(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_stream, "NEST", store=warm_store)
     text = (
         "Total run time:\n" + render_run_time_figure(comparisons)
         + "\n\nResponse times:\n" + render_response_figure(comparisons)

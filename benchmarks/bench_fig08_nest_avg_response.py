@@ -10,8 +10,8 @@ from repro.experiments.tables import render_average_response_figure
 from repro.experiments.usecase1 import simulator_average_response
 
 
-def test_figure8_nest_average_response(benchmark, report):
-    comparisons = benchmark(simulator_average_response, "NEST")
+def test_figure8_nest_average_response(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_average_response, "NEST", store=warm_store)
     report("fig08_nest_avg_response", render_average_response_figure(comparisons))
 
     for c in comparisons:

@@ -11,8 +11,8 @@ from repro.experiments.tables import render_run_time_figure
 from repro.experiments.usecase1 import simulator_pils_run_time
 
 
-def test_figure9_coreneuron_pils_total_run_time(benchmark, report):
-    comparisons = benchmark(simulator_pils_run_time, "CoreNeuron")
+def test_figure9_coreneuron_pils_total_run_time(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_pils_run_time, "CoreNeuron", store=warm_store)
     report("fig09_neuron_pils_runtime", render_run_time_figure(comparisons))
 
     for c in comparisons:

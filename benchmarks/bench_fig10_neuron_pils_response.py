@@ -6,8 +6,8 @@ from repro.experiments.tables import render_response_figure
 from repro.experiments.usecase1 import simulator_pils_response
 
 
-def test_figure10_coreneuron_pils_response_times(benchmark, report):
-    comparisons = benchmark(simulator_pils_response, "CoreNeuron")
+def test_figure10_coreneuron_pils_response_times(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_pils_response, "CoreNeuron", store=warm_store)
     report("fig10_neuron_pils_response", render_response_figure(comparisons))
 
     for c in comparisons:

@@ -10,8 +10,8 @@ from repro.experiments.tables import render_average_response_figure
 from repro.experiments.usecase1 import simulator_average_response
 
 
-def test_figure12_coreneuron_average_response(benchmark, report):
-    comparisons = benchmark(simulator_average_response, "CoreNeuron")
+def test_figure12_coreneuron_average_response(benchmark, report, warm_store):
+    comparisons = benchmark(simulator_average_response, "CoreNeuron", store=warm_store)
     report("fig12_neuron_avg_response", render_average_response_figure(comparisons))
 
     gains = [c.average_response_gain for c in comparisons]

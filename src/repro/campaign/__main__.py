@@ -25,7 +25,14 @@ from repro.campaign.spec import (
     SchedulerRef,
     SyntheticWorkloadRef,
 )
-from repro.workload.generator import POISSON, UNIFORM, WorkloadSpec
+from repro.workload.generator import (
+    BURSTY,
+    POISSON,
+    UNIFORM,
+    SizeMixEntry,
+    WorkloadSpec,
+    heavy_tailed_size_mix,
+)
 from repro.workload.runner import DROM, SERIAL
 
 
@@ -59,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed result store: cells already in "
                             "the store are served from it, fresh rows are "
                             "written back (created if missing)")
+    sweep.add_argument("--shard", default=None, metavar="K/N",
+                       help="run only shard K of N (1-based): the workload "
+                            "axis is dealt round-robin over N balanced shard "
+                            "campaigns; combine with per-host --store roots "
+                            "and 'python -m repro.results merge' to "
+                            "distribute a sweep")
 
     cluster = parser.add_argument_group("cluster")
     cluster.add_argument("--nnodes", type=int, default=4,
@@ -71,17 +84,43 @@ def build_parser() -> argparse.ArgumentParser:
     workload = parser.add_argument_group("workload generation")
     workload.add_argument("--njobs", type=int, default=3,
                           help="jobs per synthetic workload (default 3)")
-    workload.add_argument("--arrival", choices=(POISSON, UNIFORM), default=POISSON,
+    workload.add_argument("--arrival", choices=(POISSON, UNIFORM, BURSTY),
+                          default=POISSON,
                           help="arrival process (default poisson)")
     workload.add_argument("--mean-interarrival", type=float, default=120.0,
                           help="mean seconds between submissions (default 120)")
+    workload.add_argument("--burst-size", type=int, default=4,
+                          help="jobs per burst with --arrival bursty (default 4)")
     workload.add_argument("--nodes-per-job", type=int, default=2,
                           help="nodes each job requests (default 2)")
+    workload.add_argument("--size-mix", default="", metavar="N[:W],...",
+                          help="heterogeneous job sizes: comma-separated node "
+                               "counts with optional weights, e.g. '1:4,2:2,4:1'; "
+                               "each job draws its own resource request "
+                               "(empty = uniform --nodes-per-job requests)")
+    workload.add_argument("--heavy-tailed-sizes", type=int, default=None,
+                          metavar="MAX_NODES",
+                          help="shorthand for a power-law size mix over "
+                               "power-of-two node counts up to MAX_NODES")
     workload.add_argument("--work-scale", type=float, default=0.05,
                           help="scale on each app's nominal work (default 0.05)")
     workload.add_argument("--iterations", type=int, default=20,
                           help="malleability points per rank (default 20)")
     return parser
+
+
+def _parse_size_mix(args: argparse.Namespace) -> tuple[SizeMixEntry, ...]:
+    if args.heavy_tailed_sizes is not None:
+        if args.size_mix.strip():
+            raise ValueError("--size-mix and --heavy-tailed-sizes are exclusive")
+        return heavy_tailed_size_mix(args.heavy_tailed_sizes)
+    entries = []
+    for token in (t.strip() for t in args.size_mix.split(",") if t.strip()):
+        nodes, _, weight = token.partition(":")
+        entries.append(
+            SizeMixEntry(nodes=int(nodes), weight=float(weight) if weight else 1.0)
+        )
+    return tuple(entries)
 
 
 def build_spec(args: argparse.Namespace) -> CampaignSpec:
@@ -92,7 +131,21 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         nodes=args.nodes_per_job,
         work_scale=args.work_scale,
         iterations=args.iterations,
+        size_mix=_parse_size_mix(args),
+        burst_size=args.burst_size,
     )
+    # Cross-axis check: drawn sizes are rigid requests, so a width beyond the
+    # partition would be rejected at submit time, deep inside the sweep —
+    # surface it as a usage error before simulating anything.
+    widest = max(
+        (entry.nodes for entry in workload_spec.size_mix),
+        default=workload_spec.nodes,
+    )
+    if widest > args.nnodes:
+        raise ValueError(
+            f"the size mix draws {widest}-node jobs but the partition has "
+            f"only {args.nnodes} node(s)"
+        )
     workloads = tuple(
         SyntheticWorkloadRef(spec=workload_spec, seed=args.seed + i)
         for i in range(args.workloads)
@@ -134,11 +187,31 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+def _select_shard(spec: CampaignSpec, shard: str) -> CampaignSpec:
+    """Resolve a ``K/N`` shard selector against ``spec.shard(N)``."""
+    k_text, _, n_text = shard.partition("/")
+    try:
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(f"--shard must look like K/N, got {shard!r}") from None
+    if not 1 <= k <= n:
+        raise ValueError(f"--shard index must satisfy 1 <= K <= N, got {shard!r}")
+    shards = spec.shard(n)
+    if k > len(shards):
+        raise ValueError(
+            f"shard {k}/{n} is empty: the campaign only has "
+            f"{len(spec.workloads)} workload(s)"
+        )
+    return shards[k - 1]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         spec = build_spec(args)
+        if args.shard is not None:
+            spec = _select_shard(spec, args.shard)
     except ValueError as exc:
         # Bad registry names (--policies, --node-policies, --scenarios) read
         # like any other usage error instead of a traceback.

@@ -15,7 +15,7 @@ whichever process executes the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Union
 
 from repro.cpuset.distribution import (
@@ -116,6 +116,11 @@ class InSituWorkloadRef:
     ``simulator_kwargs`` (a tuple of key/value pairs, to stay hashable and
     picklable) forwards to the simulator's model factory — the ablations use
     ``(("malleable", False),)`` and ``(("chunks_per_thread", 0),)``.
+
+    ``analytics_nodes`` shrinks the analytics job's resource request below
+    the partition width (heterogeneous use case 1); it is part of the run
+    identity — the same workload with a 1-node analytics job is a different
+    cell than with the full-width one.
     """
 
     simulator: str = "NEST"
@@ -124,6 +129,7 @@ class InSituWorkloadRef:
     analytics_config: str = "Conf. 2"
     analytics_submit: float = 120.0
     simulator_kwargs: tuple[tuple[str, object], ...] = ()
+    analytics_nodes: int | None = None
 
     def build(self) -> Workload:
         return in_situ_workload(
@@ -133,13 +139,17 @@ class InSituWorkloadRef:
             self.analytics_config,
             analytics_submit=self.analytics_submit,
             simulator_model_kwargs=dict(self.simulator_kwargs) or None,
+            analytics_nodes=self.analytics_nodes,
         )
 
     @property
     def label(self) -> str:
+        suffix = (
+            f" @{self.analytics_nodes}n" if self.analytics_nodes is not None else ""
+        )
         return (
             f"{self.simulator} {self.simulator_config} + "
-            f"{self.analytics} {self.analytics_config}"
+            f"{self.analytics} {self.analytics_config}{suffix}"
         )
 
 
@@ -303,3 +313,27 @@ class CampaignSpec:
             * len(self.workloads)
             * len(self.scenarios)
         )
+
+    def shard(self, n: int) -> list["CampaignSpec"]:
+        """Split the campaign into up to ``n`` balanced shard specs.
+
+        The workload axis (normally the widest) is dealt round-robin, so the
+        shards' run counts differ by at most one workload's worth of cells.
+        Each shard is a self-contained campaign; the union of the shards'
+        cells equals this spec's cells (grid *indices* differ, but the
+        content-addressed store excludes indices from its keys, so running
+        every shard into its own :class:`~repro.results.store.ResultStore`,
+        merging the stores, and re-running the full spec warm is the
+        cross-host execution path).
+
+        With fewer workloads than ``n``, only the non-empty shards are
+        returned.
+        """
+        if n <= 0:
+            raise ValueError("shard count must be positive")
+        groups = [self.workloads[i::n] for i in range(n)]
+        return [
+            replace(self, name=f"{self.name}[shard {i + 1}/{n}]", workloads=group)
+            for i, group in enumerate(groups)
+            if group
+        ]

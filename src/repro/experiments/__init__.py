@@ -12,7 +12,12 @@ from repro.experiments.usecase1 import (
     simulator_pils_run_time,
     simulator_stream,
 )
-from repro.experiments.usecase2 import UseCase2Result, run_usecase2
+from repro.experiments.usecase2 import (
+    UseCase2Responses,
+    UseCase2Result,
+    run_usecase2,
+    usecase2_responses,
+)
 from repro.experiments.tables import (
     render_average_response_figure,
     render_response_figure,
@@ -33,7 +38,9 @@ __all__ = [
     "scenario_timelines",
     "ScenarioTimeline",
     "UseCase2Result",
+    "UseCase2Responses",
     "run_usecase2",
+    "usecase2_responses",
     "render_table",
     "render_table1",
     "render_run_time_figure",

@@ -21,8 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.campaign.runner import run_scenario_pair
-from repro.campaign.spec import HighPriorityWorkloadRef
+from repro.campaign.runner import run_campaign, run_scenario_pair
+from repro.campaign.spec import CampaignSpec, HighPriorityWorkloadRef
 from repro.metrics.collect import relative_improvement
 from repro.metrics.counters import CounterLog
 from repro.metrics.paraver import ParaverView
@@ -119,6 +119,60 @@ class UseCase2Result:
         (the expansion at time (d) of Figure 13)."""
         changes = self.drom.tracer.mask_changes(self.coreneuron_label)
         return any(change.new_threads > 8 for change in changes)
+
+
+@dataclass(frozen=True)
+class UseCase2Responses:
+    """The Figure 15 slice of use case 2: response-time metrics only.
+
+    Unlike :class:`UseCase2Result` this carries no tracers, so it can be
+    served entirely from a content-addressed
+    :class:`~repro.results.store.ResultStore` — the store-backed path the
+    figure benchmarks use for cheap regeneration.
+    """
+
+    nest_label: str
+    coreneuron_label: str
+    serial_average_response: float
+    drom_average_response: float
+    #: scenario -> {job label -> response time (s)}.
+    responses: dict[str, dict[str, float]]
+
+    @property
+    def average_response_gain(self) -> float:
+        return relative_improvement(
+            self.serial_average_response, self.drom_average_response
+        )
+
+
+def usecase2_responses(
+    second_submit: float = 120.0, store=None
+) -> UseCase2Responses:
+    """Figure 15 through the campaign/store path (no traces simulated twice).
+
+    ``store`` (a :class:`~repro.results.store.ResultStore`) memoises the two
+    runs like any other campaign cell, so a warm store regenerates the figure
+    without simulating at all.
+    """
+    spec = CampaignSpec(
+        name="usecase2",
+        workloads=(HighPriorityWorkloadRef(second_submit=second_submit),),
+        scenarios=(SERIAL, DROM),
+    )
+    result = run_campaign(spec, store=store)
+    cell = result.scenario_pairs()[0]
+    serial, drom = cell[SERIAL], cell[DROM]
+    labels = [label for label, _ in serial.response_times]
+    return UseCase2Responses(
+        nest_label=labels[0],
+        coreneuron_label=labels[1],
+        serial_average_response=serial.average_response_time,
+        drom_average_response=drom.average_response_time,
+        responses={
+            SERIAL: dict(serial.response_times),
+            DROM: dict(drom.response_times),
+        },
+    )
 
 
 def run_usecase2(second_submit: float = 120.0, sinks=()) -> UseCase2Result:

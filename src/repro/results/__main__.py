@@ -5,12 +5,17 @@ Subcommands::
     ls    [--store ROOT]                    list stored cells
     show  KEY [--store ROOT]                per-job metrics of one cell
     diff  STORE_A STORE_B                   cell-by-cell campaign comparison
+    merge OUT SHARD [SHARD ...]             union N shard stores into OUT
     gc    [--store ROOT] [filters] [--delete]   collect entries
 
 ``diff`` exits 0 when the stores agree on every shared cell and have the same
 key set, 1 otherwise — so two shards (or a re-run) can be verified from CI.
-``gc`` is a dry run unless ``--delete`` is given; unreadable or old-format
-entries are always candidates.
+``merge`` is the campaign-sharding transport: each host runs its
+``CampaignSpec.shard(n)`` slice into a local store, ships the directory, and
+the coordinator merges them all in one call (entries are pure functions of
+their keys, so collisions are idempotent; first store wins unless
+``--overwrite``).  ``gc`` is a dry run unless ``--delete`` is given;
+unreadable or old-format entries are always candidates.
 """
 
 from __future__ import annotations
@@ -41,6 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="diff two stores cell by cell")
     diff.add_argument("store_a")
     diff.add_argument("store_b")
+
+    merge = sub.add_parser(
+        "merge", help="union one or more shard stores into a target store"
+    )
+    merge.add_argument("out", help="target store root (created if missing)")
+    merge.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard store roots to merge in, in order")
+    merge.add_argument("--overwrite", action="store_true",
+                       help="later shards overwrite existing keys "
+                            "(default: first occurrence wins)")
 
     gc = sub.add_parser("gc", help="collect entries (dry run without --delete)")
     gc.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
@@ -93,6 +108,23 @@ def main(argv: list[str] | None = None) -> int:
         diff = diff_stores(ResultStore(args.store_a), ResultStore(args.store_b))
         print(render_diff(diff))
         return 0 if diff.identical else 1
+    if args.command == "merge":
+        out = ResultStore(args.out)
+        # A typo'd shard path must not read as a successful (empty) merge:
+        # the whole point is transporting another host's cells.
+        missing = [root for root in args.shards if not ResultStore(root).root.is_dir()]
+        if missing:
+            for root in missing:
+                print(f"shard store {root} does not exist", file=sys.stderr)
+            return 1
+        total = 0
+        for shard_root in args.shards:
+            shard = ResultStore(shard_root)
+            copied = out.merge(shard, overwrite=args.overwrite)
+            total += copied
+            print(f"merged {shard.root}: {copied} of {len(shard)} entr(y/ies) copied")
+        print(f"store {out.root}: {len(out)} cell(s) after merging {total}")
+        return 0
     if args.command == "gc":
         store = ResultStore(args.store)
         removed = store.gc(_gc_predicate(args), dry_run=not args.delete)

@@ -39,14 +39,23 @@ from repro.campaign.spec import (
     SyntheticWorkloadRef,
     WorkloadRef,
 )
-from repro.workload.generator import AppMixEntry, WorkloadSpec
+from repro.workload.generator import AppMixEntry, SizeMixEntry, WorkloadSpec
 
 #: Default persistent location (gitignored; see ``.gitignore``).
 DEFAULT_STORE_ROOT = Path("benchmarks") / "results" / "store"
 
 #: Bumped whenever the entry layout or the content-hash inputs change; old
 #: entries are then simply cache misses (and ``gc`` collects them).
-STORE_FORMAT_VERSION = 1
+#:
+#: Version history:
+#:
+#: * 1 — initial layout (uniform per-workload node counts).
+#: * 2 — per-job resource requests: the workload references serialise the
+#:   generator's ``size_mix``/``burst_size`` families and the in-situ
+#:   ``analytics_nodes``, all of which enter the content hash.  v1 cells were
+#:   hashed without them, so treating one as a v2 hit could silently alias
+#:   two different simulations — they are invalid, never rebound.
+STORE_FORMAT_VERSION = 2
 
 
 # -- canonical spec (de)serialisation ------------------------------------------------
@@ -81,6 +90,8 @@ def _workload_from_dict(payload: dict) -> WorkloadRef:
                 work_scale=spec["work_scale"],
                 iterations=spec["iterations"],
                 name=spec["name"],
+                size_mix=tuple(SizeMixEntry(**entry) for entry in spec["size_mix"]),
+                burst_size=spec["burst_size"],
             ),
             seed=payload["seed"],
         )
@@ -94,6 +105,7 @@ def _workload_from_dict(payload: dict) -> WorkloadRef:
             simulator_kwargs=tuple(
                 (key, value) for key, value in payload["simulator_kwargs"]
             ),
+            analytics_nodes=payload["analytics_nodes"],
         )
     return HighPriorityWorkloadRef(second_submit=payload["second_submit"])
 
@@ -301,22 +313,51 @@ class ResultStore:
                 self.remove(key)
         return doomed
 
+    @staticmethod
+    def _is_current_entry(text: str) -> bool:
+        """Whether ``text`` is a readable, current-format entry payload."""
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return False
+        return (
+            isinstance(payload, dict)
+            and payload.get("version") == STORE_FORMAT_VERSION
+        )
+
     def merge(self, other: "ResultStore", overwrite: bool = False) -> int:
         """Union another store's entries into this one (the campaign-sharding
         merge path: shards fill disjoint key sets, the union is the campaign).
 
         Returns the number of entries copied.  With ``overwrite=False`` keys
         already present locally win, which is safe because entries are pure
-        functions of their key's spec.
+        functions of their key's spec.  Old-format or unreadable source
+        entries are never imported, and a stale local file never shadows a
+        current incoming one — cells whose serialised contents survived a
+        schema bump keep their key, so a pre-bump shard must not block the
+        post-bump entry.
         """
         copied = 0
         for key in other.keys():
-            if not overwrite and self.path_for(key).exists():
+            target = self.path_for(key)
+            if not overwrite:
+                # Check the local side first: a warm re-merge (coordinator
+                # re-running after each shard lands) then skips without ever
+                # reading the source store.
+                try:
+                    if self._is_current_entry(target.read_text()):
+                        continue
+                except OSError:
+                    pass  # absent or unreadable: the incoming entry wins
+            try:
+                data = other.path_for(key).read_text()
+            except OSError:
+                continue
+            if not self._is_current_entry(data):
                 continue
             self.root.mkdir(parents=True, exist_ok=True)
-            data = other.path_for(key).read_text()
             tmp = self.root / f".{key}.{os.getpid()}.tmp"
             tmp.write_text(data)
-            tmp.replace(self.path_for(key))
+            tmp.replace(target)
             copied += 1
         return copied

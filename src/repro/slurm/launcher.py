@@ -43,19 +43,25 @@ class Srun:
 
         Tasks are distributed block-wise: the first ``tasks_per_node`` global
         ranks go to the first allocated node, and so on — matching how the
-        paper's experiments place "2 MPI processes among 2 nodes".
+        paper's experiments place "2 MPI processes among 2 nodes".  The
+        per-node task count comes from the *actual* allocation, which may be
+        narrower or wider than the requested node count when the job carries
+        malleability bounds.
         """
         if not job.allocated_nodes:
             raise ValueError(f"job {job.job_id} has no allocated nodes; schedule it first")
         launch = JobLaunch(job=job)
+        tasks_per_node = job.spec.tasks_on(len(job.allocated_nodes))
         rank = 0
         for node_name in job.allocated_nodes:
             if node_name not in self._slurmds:
                 raise KeyError(f"no slurmd registered for node {node_name!r}")
             slurmd = self._slurmds[node_name]
-            record = slurmd.launch_job_step(job, first_global_rank=rank, base_environ=environ)
+            record = slurmd.launch_job_step(
+                job, first_global_rank=rank, ntasks=tasks_per_node, base_environ=environ
+            )
             launch.steps[node_name] = record
-            rank += job.spec.tasks_per_node
+            rank += tasks_per_node
         return launch
 
     def terminate(self, job: Job) -> dict[str, dict[int, object]]:

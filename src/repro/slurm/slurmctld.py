@@ -96,11 +96,40 @@ class Slurmctld:
     # -- submission ----------------------------------------------------------------
 
     def submit(self, spec: JobSpec, time: float) -> Job:
-        """Submit a job at ``time``; it is queued pending scheduling."""
-        if spec.nodes > self.cluster.nnodes:
+        """Submit a job at ``time``; it is queued pending scheduling.
+
+        Rejected when no placement candidate fits the partition — note the
+        narrowest *usable* width can exceed ``min_nodes`` when intermediate
+        counts don't divide ``ntasks`` evenly — or when every usable width
+        needs more CPUs per node than any node has (malleable jobs under
+        DROM only need a CPU per task: co-allocation shrinks their masks).
+        """
+        narrowest = min(spec.placement_candidates())
+        if narrowest > self.cluster.nnodes:
             raise ValueError(
-                f"job {spec.name!r} requests {spec.nodes} nodes but the partition "
-                f"has only {self.cluster.nnodes}"
+                f"job {spec.name!r} needs at least {narrowest} "
+                f"node(s) but the partition has only {self.cluster.nnodes}"
+            )
+        widest_node = max(node.ncpus for node in self.cluster.nodes)
+
+        def placeable(width: int) -> bool:
+            if width > self.cluster.nnodes:
+                return False
+            if spec.cpus_per_node_on(width) <= widest_node:
+                return True
+            # The task-fit (co-allocation) arm mirrors _select_nodes' DROM
+            # path, which never widens beyond the requested node count.
+            return (
+                self.drom_enabled
+                and spec.malleable
+                and width <= spec.nodes
+                and spec.tasks_on(width) <= widest_node
+            )
+
+        if not any(placeable(width) for width in spec.placement_candidates()):
+            raise ValueError(
+                f"job {spec.name!r} can never be placed: every usable width "
+                f"needs more CPUs per node than the partition's {widest_node}"
             )
         job = Job(spec=spec)
         job.mark_submitted(time)
@@ -149,33 +178,50 @@ class Slurmctld:
         return decisions
 
     def _select_nodes(self, job: Job) -> tuple[tuple[str, ...], bool] | None:
-        """Pick nodes for ``job`` or return ``None`` if it cannot start now."""
+        """Pick nodes for ``job`` or return ``None`` if it cannot start now.
+
+        Jobs of different sizes coexist: each candidate node count of the job
+        (its requested ``nodes``, widened up to ``max_nodes`` or shrunk down
+        to ``min_nodes`` for malleable requests; rigid jobs have exactly one
+        candidate) is tried widest-first, and per-node capacity is checked
+        with the task/CPU counts *of that node count* — so a 1-node analytics
+        job packs beside the leftovers of a 4-node simulation on a partly-used
+        partition.
+        """
         spec = job.spec
         ordered_states = self._ordered_nodes()
 
         # First preference: exclusive placement on nodes with enough free CPUs
         # (this is all stock SLURM can do).
-        free_nodes = [
-            state.name
-            for state in ordered_states
-            if state.ncpus - state.allocated_cpus >= spec.cpus_per_node
-        ]
-        if len(free_nodes) >= spec.nodes:
-            return tuple(free_nodes[: spec.nodes]), False
+        for nnodes in spec.placement_candidates():
+            cpus_needed = spec.cpus_per_node_on(nnodes)
+            free_nodes = [
+                state.name
+                for state in ordered_states
+                if state.ncpus - state.allocated_cpus >= cpus_needed
+            ]
+            if len(free_nodes) >= nnodes:
+                return tuple(free_nodes[:nnodes]), False
 
-        # DROM path: co-allocate with running malleable jobs.
+        # DROM path: co-allocate with running malleable jobs.  Never widen
+        # beyond the requested node count here — widening happens only on the
+        # exclusive path above (nodes with enough *free* CPUs), so a job never
+        # grabs extra nodes by squeezing in beside other jobs.
         if self.drom_enabled and spec.malleable:
-            candidates = []
-            for state in ordered_states:
-                fits_free = state.ncpus - state.allocated_cpus >= spec.cpus_per_node
-                fits_shared = (
-                    state.all_malleable()
-                    and state.running_tasks + spec.tasks_per_node <= state.ncpus
-                )
-                if fits_free or fits_shared:
-                    candidates.append(state.name)
-            if len(candidates) >= spec.nodes:
-                return tuple(candidates[: spec.nodes]), True
+            for nnodes in spec.placement_candidates(expand=False):
+                tasks = spec.tasks_on(nnodes)
+                cpus_needed = tasks * spec.cpus_per_task
+                candidates = []
+                for state in ordered_states:
+                    fits_free = state.ncpus - state.allocated_cpus >= cpus_needed
+                    fits_shared = (
+                        state.all_malleable()
+                        and state.running_tasks + tasks <= state.ncpus
+                    )
+                    if fits_free or fits_shared:
+                        candidates.append(state.name)
+                if len(candidates) >= nnodes:
+                    return tuple(candidates[:nnodes]), True
         return None
 
     def _ordered_nodes(self) -> list[NodeState]:
@@ -185,12 +231,12 @@ class Slurmctld:
         return list(self.node_policy.order(states))
 
     def _commit(self, job: Job, nodes: tuple[str, ...]) -> None:
+        # Granted node count may differ from the requested one (malleability
+        # bounds), so per-node bookkeeping uses the actual allocation.
+        tasks = job.spec.tasks_on(len(nodes))
+        cpus = tasks * job.spec.cpus_per_task
         for name in nodes:
-            self.nodes[name].running[job.job_id] = (
-                job.spec.tasks_per_node,
-                job.spec.cpus_per_node,
-                job.spec.malleable,
-            )
+            self.nodes[name].running[job.job_id] = (tasks, cpus, job.spec.malleable)
 
     # -- completion ---------------------------------------------------------------------
 

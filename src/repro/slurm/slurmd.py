@@ -68,14 +68,21 @@ class Slurmd:
         self,
         job: Job,
         first_global_rank: int,
+        ntasks: int | None = None,
         base_environ: dict[str, str] | None = None,
     ) -> StepRecord:
-        """Launch the local tasks of ``job`` on this node (Figure 2 flow)."""
+        """Launch the local tasks of ``job`` on this node (Figure 2 flow).
+
+        ``ntasks`` is the task count of this node's step; it defaults to the
+        spec's nominal ``tasks_per_node`` but srun passes the count implied by
+        the actual allocation (shrunk/widened jobs place more/fewer tasks per
+        node than requested).
+        """
         if job.job_id in self._steps:
             raise ValueError(f"job {job.job_id} already has a step on node {self.name}")
         plan = self.plugin.launch_request(
             job_id=job.job_id,
-            ntasks=job.spec.tasks_per_node,
+            ntasks=ntasks if ntasks is not None else job.spec.tasks_per_node,
             cpus_per_task=job.spec.cpus_per_task,
             malleable=job.spec.malleable,
         )

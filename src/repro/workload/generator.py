@@ -23,11 +23,18 @@ from repro.apps import nest as _nest
 from repro.apps import stream as _stream
 from repro.runtime.process import ThreadModel
 from repro.workload import configs
-from repro.workload.workloads import Workload, WorkloadJob
+from repro.workload.workloads import ResourceRequest, Workload, WorkloadJob
 
 #: Arrival process names accepted by :class:`WorkloadSpec`.
 POISSON = "poisson"
 UNIFORM = "uniform"
+#: Bursty arrivals: jobs arrive in back-to-back groups of ``burst_size``;
+#: the gaps *between* bursts are exponential with mean ``mean_interarrival``.
+BURSTY = "bursty"
+
+#: Default jobs-per-burst; non-bursty specs are normalised to it (the field
+#: is inert there, and equal-computing specs must hash to the same cell).
+DEFAULT_BURST_SIZE = 4
 
 #: Nominal (unscaled) total work of each application factory, per config.
 _BASE_WORK: dict[str, dict[str, float]] = {
@@ -83,6 +90,47 @@ DEFAULT_APP_MIX: tuple[AppMixEntry, ...] = (
 
 
 @dataclass(frozen=True)
+class SizeMixEntry:
+    """One candidate job size (node count) of a heterogeneous workload.
+
+    ``min_nodes``/``max_nodes`` become the drawn jobs' malleability bounds
+    (see :class:`~repro.workload.workloads.ResourceRequest`); left ``None``
+    the drawn requests are rigid.
+    """
+
+    nodes: int
+    weight: float = 1.0
+    min_nodes: int | None = None
+    max_nodes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        if self.min_nodes is not None and not 1 <= self.min_nodes <= self.nodes:
+            raise ValueError("min_nodes must be in [1, nodes]")
+        if self.max_nodes is not None and self.max_nodes < self.nodes:
+            raise ValueError("max_nodes must be >= nodes")
+
+
+def heavy_tailed_size_mix(
+    max_nodes: int, alpha: float = 1.6
+) -> tuple[SizeMixEntry, ...]:
+    """A power-law job-size family: power-of-two node counts up to
+    ``max_nodes``, weighted ``nodes ** -alpha`` — most jobs are small, a few
+    are wide, like real HPC traces."""
+    if max_nodes <= 0:
+        raise ValueError("max_nodes must be positive")
+    sizes = []
+    n = 1
+    while n <= max_nodes:
+        sizes.append(SizeMixEntry(nodes=n, weight=n**-alpha))
+        n *= 2
+    return tuple(sizes)
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Parameters of a synthetic workload family.
 
@@ -98,16 +146,31 @@ class WorkloadSpec:
     arrival:
         ``"poisson"`` draws exponential inter-arrival gaps with mean
         ``mean_interarrival``; ``"uniform"`` submits jobs at fixed
-        ``mean_interarrival`` spacing.  The first job always arrives at t=0.
+        ``mean_interarrival`` spacing; ``"bursty"`` submits back-to-back
+        groups of ``burst_size`` jobs with exponential gaps between the
+        groups.  The first job always arrives at t=0.
     mean_interarrival:
-        Mean (Poisson) or exact (uniform) gap between submissions, seconds.
+        Mean (Poisson/bursty) or exact (uniform) gap between submissions
+        (bursty: between bursts), seconds.
+    burst_size:
+        Jobs per burst when ``arrival="bursty"``.  For the other arrival
+        processes the field is inert and is normalised back to its default,
+        so two specs that compute the same workloads compare equal and hash
+        to the same content-addressed store cell.
     app_mix:
         Applications to draw from, weighted.
     priority_levels:
         Candidate priorities, drawn uniformly per job.
     nodes:
-        Number of nodes each job requests (must not exceed the cluster the
-        workload eventually runs on).
+        Default number of nodes each job requests (must not exceed the
+        cluster the workload eventually runs on).
+    size_mix:
+        Optional heterogeneous job-size family: candidate node counts with
+        weights, drawn per job and emitted as explicit per-job
+        :class:`~repro.workload.workloads.ResourceRequest`\\ s whose task
+        counts scale with the drawn size (the app configuration's
+        ranks-per-node density is preserved).  Empty = every job requests
+        ``nodes`` nodes, the paper's uniform sizing.
     work_scale:
         Multiplier on each application's nominal total work.  Campaign tests
         and quick sweeps use small scales to keep thousands of runs cheap.
@@ -127,11 +190,19 @@ class WorkloadSpec:
     work_scale: float = 1.0
     iterations: int | None = None
     name: str = "synthetic"
+    size_mix: tuple[SizeMixEntry, ...] = ()
+    burst_size: int = DEFAULT_BURST_SIZE
 
     def __post_init__(self) -> None:
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if self.arrival != BURSTY and self.burst_size != DEFAULT_BURST_SIZE:
+            # Inert for non-bursty arrivals: normalise so equal-computing
+            # specs are equal (and share one store cell).
+            object.__setattr__(self, "burst_size", DEFAULT_BURST_SIZE)
         if self.njobs <= 0:
             raise ValueError("njobs must be positive")
-        if self.arrival not in (POISSON, UNIFORM):
+        if self.arrival not in (POISSON, UNIFORM, BURSTY):
             raise ValueError(f"unknown arrival process {self.arrival!r}")
         if self.mean_interarrival < 0:
             raise ValueError("mean_interarrival must be non-negative")
@@ -147,6 +218,8 @@ class WorkloadSpec:
             raise ValueError("work_scale must be positive")
         if self.iterations is not None and self.iterations <= 0:
             raise ValueError("iterations must be positive")
+        if self.size_mix and sum(e.weight for e in self.size_mix) <= 0:
+            raise ValueError("size_mix needs at least one positive weight")
 
 
 def build_app(entry: AppMixEntry, spec: WorkloadSpec) -> configs.ConfiguredApp:
@@ -159,16 +232,42 @@ def build_app(entry: AppMixEntry, spec: WorkloadSpec) -> configs.ConfiguredApp:
     return _FACTORIES[entry.app](entry.config, **kwargs)
 
 
+def draw_request(
+    app: configs.ConfiguredApp, size: SizeMixEntry
+) -> ResourceRequest:
+    """The request one drawn job size implies for one app configuration.
+
+    The app's rank density on the paper's two-node evaluation partition is
+    preserved: a configuration running ``mpi_ranks`` ranks on
+    ``EVALUATION_NODES`` nodes keeps the same ranks-per-node at any size, so
+    wider jobs carry proportionally more ranks (and more total CPUs) —
+    heavy-tailed sizes really do produce heavy-tailed CPU footprints.
+    """
+    ranks_per_node = max(1, app.config.mpi_ranks // configs.EVALUATION_NODES)
+    return ResourceRequest(
+        nodes=size.nodes,
+        ntasks=size.nodes * ranks_per_node,
+        cpus_per_task=app.config.threads_per_rank,
+        min_nodes=size.min_nodes,
+        max_nodes=size.max_nodes,
+    )
+
+
 def generate_workload(spec: WorkloadSpec, seed: int) -> Workload:
     """Draw one concrete workload from ``spec`` — deterministic in ``seed``."""
     rng = random.Random(seed)
     weights = [entry.weight for entry in spec.app_mix]
+    size_weights = [entry.weight for entry in spec.size_mix]
     submit_time = 0.0
     jobs: list[WorkloadJob] = []
     for i in range(spec.njobs):
         entry = rng.choices(spec.app_mix, weights=weights, k=1)[0]
         app = build_app(entry, spec)
         priority = rng.choice(spec.priority_levels)
+        resources = None
+        if spec.size_mix:
+            size = rng.choices(spec.size_mix, weights=size_weights, k=1)[0]
+            resources = draw_request(app, size)
         jobs.append(
             WorkloadJob(
                 app=app,
@@ -178,12 +277,18 @@ def generate_workload(spec: WorkloadSpec, seed: int) -> Workload:
                 # Labels must be unique: the runner keys its bookkeeping on
                 # them, and a mix can draw the same app/config twice.
                 name=f"{app.label} #{i}",
+                resources=resources,
             )
         )
         if spec.mean_interarrival <= 0:
             pass  # burst submission: every job arrives at t=0
         elif spec.arrival == POISSON:
             submit_time += rng.expovariate(1.0 / spec.mean_interarrival)
+        elif spec.arrival == BURSTY:
+            # Jobs within a burst share a submit time; the next burst starts
+            # after an exponential gap.
+            if (i + 1) % spec.burst_size == 0:
+                submit_time += rng.expovariate(1.0 / spec.mean_interarrival)
         else:
             submit_time += spec.mean_interarrival
     return Workload(

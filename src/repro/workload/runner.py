@@ -242,14 +242,19 @@ class _RunState:
             self.engine.call_at(wjob.submit_time, self._submit, wjob)
 
     def _submit(self, wjob: WorkloadJob) -> None:
+        # Per-job resource request: explicit on the workload job, or the app
+        # configuration spread over the workload's default node count.
+        request = wjob.resource_request(self.workload.nodes)
         spec = JobSpec(
             name=wjob.label,
-            nodes=self.workload.nodes,
-            ntasks=wjob.app.config.mpi_ranks,
-            cpus_per_task=wjob.app.config.threads_per_rank,
+            nodes=request.nodes,
+            ntasks=request.ntasks,
+            cpus_per_task=request.cpus_per_task,
             application=wjob.app,
             malleable=wjob.app.model.malleable,
             priority=wjob.priority,
+            min_nodes=request.min_nodes,
+            max_nodes=request.max_nodes,
         )
         job = self.ctld.submit(spec, time=self.engine.now)
         self.jobs_by_label[wjob.label] = job
@@ -268,7 +273,11 @@ class _RunState:
         comm = MpiCommunicator(size=job.spec.ntasks, job_id=job.job_id)
         execution = JobExecution(workload_job=wjob, job=job, launch=launch, comm=comm)
 
-        plans = wjob.app.model.build_plans(wjob.app.config)
+        # One plan per *requested* task: a request deviating from the Table-1
+        # shape re-partitions the same total work over its own rank count.
+        # The submitted spec is the single source of the request.
+        request = job.spec.request
+        plans = wjob.app.model.build_plans(request.effective_config(wjob.app.config))
         for task in launch.tasks():
             node_topology = self.runner.cluster.node(task.node)
             shmem = self.slurmds[task.node].shmem

@@ -5,6 +5,13 @@ analytics) pairs a long simulation (NEST or CoreNeuron) with a short analytics
 job (Pils or STREAM) submitted shortly after the simulation starts.  Use case
 2 (high-priority job) pairs a long NEST with a long, high-priority CoreNeuron
 submitted while NEST runs.
+
+Every job carries (implicitly or explicitly) a :class:`ResourceRequest` — the
+per-job ``nodes`` / ``ntasks`` / ``cpus_per_task`` ask that the scheduler
+sees.  The paper's workloads all request the full two-node partition, so the
+request defaults from the app configuration and the workload's node count;
+heterogeneous workloads (a 1-node analytics job next to a 4-node simulation)
+set it explicitly or draw it from the synthetic generator's size families.
 """
 
 from __future__ import annotations
@@ -12,7 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.runtime.process import ThreadModel
+from repro.slurm.jobs import ResourceRequest
 from repro.workload import configs
+
+__all__ = [
+    "ResourceRequest",  # canonical home: repro.slurm.jobs (re-exported here)
+    "WorkloadJob",
+    "Workload",
+    "DEFAULT_SECOND_SUBMIT",
+    "in_situ_workload",
+    "high_priority_workload",
+    "all_in_situ_workloads",
+]
 
 
 @dataclass(frozen=True)
@@ -27,10 +45,19 @@ class WorkloadJob:
     thread_model: ThreadModel = ThreadModel.OPENMP
     #: Override of the job name; defaults to the app label.
     name: str | None = None
+    #: Explicit per-job resource request; ``None`` defaults to the app
+    #: configuration spread over the workload's node count.
+    resources: ResourceRequest | None = None
 
     @property
     def label(self) -> str:
         return self.name if self.name is not None else self.app.label
+
+    def resource_request(self, default_nodes: int) -> ResourceRequest:
+        """This job's effective request (explicit, or the app-config default)."""
+        if self.resources is not None:
+            return self.resources
+        return ResourceRequest.for_app(self.app, nodes=default_nodes)
 
 
 @dataclass(frozen=True)
@@ -58,6 +85,7 @@ def in_situ_workload(
     analytics_config: str = "Conf. 2",
     analytics_submit: float = DEFAULT_SECOND_SUBMIT,
     simulator_model_kwargs: dict | None = None,
+    analytics_nodes: int | None = None,
 ) -> Workload:
     """Use case 1: a simulation plus an in-situ analytics job.
 
@@ -66,13 +94,21 @@ def in_situ_workload(
     ``analytics_submit`` seconds, while the simulation is running.
     ``simulator_model_kwargs`` forwards to the simulator's model factory —
     the ablation studies use it to build non-malleable or fully malleable
-    simulator variants of the same workload.
+    simulator variants of the same workload.  ``analytics_nodes`` shrinks the
+    analytics job's resource request below the partition size (the
+    heterogeneous variant: a small analytics job next to the full-width
+    simulation); ``None`` keeps the paper's uniform two-node requests.
     """
     sim_factory = {"NEST": configs.nest, "CoreNeuron": configs.coreneuron}[simulator]
     ana_factory = {"Pils": configs.pils, "STREAM": configs.stream}[analytics]
     sim = sim_factory(simulator_config, **(simulator_model_kwargs or {}))
     ana = ana_factory(analytics_config)
     ana_thread_model = ThreadModel.OMPSS if analytics == "Pils" else ThreadModel.OPENMP
+    ana_resources = (
+        ResourceRequest.for_app(ana, nodes=analytics_nodes)
+        if analytics_nodes is not None
+        else None
+    )
     return Workload(
         name=f"{simulator} {simulator_config} + {analytics} {analytics_config}",
         jobs=(
@@ -81,6 +117,7 @@ def in_situ_workload(
                 app=ana,
                 submit_time=analytics_submit,
                 thread_model=ana_thread_model,
+                resources=ana_resources,
             ),
         ),
     )

@@ -94,6 +94,47 @@ class TestSpecExpansion:
         assert topo.ncpus == 16
 
 
+class TestSharding:
+    def test_shards_are_balanced_and_cover_the_grid(self):
+        spec = small_sweep(nworkloads=5)
+        shards = spec.shard(2)
+        assert [len(s.workloads) for s in shards] == [3, 2]
+        assert sum(s.nruns for s in shards) == spec.nruns
+        # Every workload lands in exactly one shard.
+        dealt = [w for s in shards for w in s.workloads]
+        assert sorted(dealt, key=lambda w: w.seed) == sorted(
+            spec.workloads, key=lambda w: w.seed
+        )
+
+    def test_shard_names_and_other_axes_preserved(self):
+        spec = small_sweep(nworkloads=4, schedulers=(SchedulerRef(backfill=True),))
+        shards = spec.shard(2)
+        assert [s.name for s in shards] == [
+            "test-sweep[shard 1/2]",
+            "test-sweep[shard 2/2]",
+        ]
+        assert all(s.schedulers == spec.schedulers for s in shards)
+        assert all(s.clusters == spec.clusters for s in shards)
+
+    def test_more_shards_than_workloads_drops_empties(self):
+        shards = small_sweep(nworkloads=2).shard(5)
+        assert len(shards) == 2
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            small_sweep().shard(0)
+
+    def test_shard_cells_union_equals_full_campaign(self):
+        from repro.results.store import content_key
+
+        spec = small_sweep(nworkloads=3)
+        full = {content_key(run) for run in spec.expand()}
+        dealt = {
+            content_key(run) for s in spec.shard(2) for run in s.expand()
+        }
+        assert dealt == full
+
+
 class TestExecution:
     def test_execute_run_is_pure(self):
         run = RunSpec(
@@ -310,3 +351,57 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "socket" in out and "equipartition" in out
+
+    def test_cli_heterogeneous_sweep(self, capsys):
+        code = campaign_cli(
+            [
+                "--workloads", "1",
+                "--njobs", "3",
+                "--nnodes", "4",
+                "--arrival", "bursty",
+                "--burst-size", "3",
+                "--size-mix", "1:2,2",
+                "--backfill", "on",
+                "--work-scale", "0.04",
+                "--iterations", "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 runs" in out and "backfill" in out
+
+    def test_cli_shard_selects_a_slice(self, capsys):
+        args = [
+            "--workloads", "3",
+            "--njobs", "2",
+            "--work-scale", "0.04",
+            "--iterations", "12",
+        ]
+        code = campaign_cli(args + ["--shard", "1/2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # 3 workloads dealt over 2 shards: the first gets 2 of them.
+        assert "4 runs" in out and "2 workloads" in out
+
+    def test_cli_bad_shard_rejected(self, capsys):
+        base = ["--workloads", "2", "--njobs", "2"]
+        for shard in ("2", "0/2", "3/2", "x/y"):
+            with pytest.raises(SystemExit):
+                campaign_cli(base + ["--shard", shard])
+            capsys.readouterr()
+
+    def test_cli_size_mix_and_heavy_tailed_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            campaign_cli(
+                ["--size-mix", "1,2", "--heavy-tailed-sizes", "4"]
+            )
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_cli_size_mix_wider_than_partition_is_a_usage_error(self, capsys):
+        # Regression: this used to crash with a raw traceback mid-sweep.
+        with pytest.raises(SystemExit):
+            campaign_cli(["--nnodes", "2", "--size-mix", "4"])
+        assert "only 2 node(s)" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            campaign_cli(["--heavy-tailed-sizes", "8", "--nnodes", "4"])
+        assert "only 4 node(s)" in capsys.readouterr().err

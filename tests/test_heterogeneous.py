@@ -1,0 +1,484 @@
+"""Per-job resource requests end to end: heterogeneous workloads through the
+scheduler, the runner, the generator and the campaign layer.
+
+The paper's evaluation keeps every job at the full two-node partition; this
+module covers everything that deviates from that: mixed 1-/2-/4-node jobs on
+an 8-node partition, backfill ordering around a blocked wide job, shrink/widen
+placement under malleability bounds, the generator's size and burst families,
+and the campaign determinism contract (serial vs pooled byte-identical) for
+heterogeneous grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ClusterRef,
+    SchedulerRef,
+    SyntheticWorkloadRef,
+    run_campaign,
+)
+from repro.cpuset.topology import ClusterTopology
+from repro.slurm.jobs import JobSpec, JobState
+from repro.slurm.slurmctld import Slurmctld
+from repro.workload import configs
+from repro.workload.generator import (
+    BURSTY,
+    SizeMixEntry,
+    WorkloadSpec,
+    draw_request,
+    generate_workload,
+    heavy_tailed_size_mix,
+)
+from repro.workload.runner import DROM, SERIAL, ScenarioRunner
+from repro.workload.workloads import (
+    ResourceRequest,
+    Workload,
+    WorkloadJob,
+    in_situ_workload,
+)
+
+#: Small job-size family used throughout: mostly 1-node, some 2-, few 4-node.
+MIXED_SIZES = heavy_tailed_size_mix(4)
+
+
+@pytest.fixture
+def uniform8() -> ClusterTopology:
+    """An 8-node generic partition (16 CPUs per node)."""
+    return ClusterTopology.uniform(8)
+
+
+def spec(name="job", nodes=2, ntasks=2, cpt=16, priority=0, malleable=True, **kw):
+    return JobSpec(
+        name=name, nodes=nodes, ntasks=ntasks, cpus_per_task=cpt,
+        priority=priority, malleable=malleable, **kw,
+    )
+
+
+def assert_no_overallocation(ctld: Slurmctld) -> None:
+    """The invariant heterogeneous placement must never break."""
+    for state in ctld.nodes.values():
+        assert state.allocated_cpus <= state.ncpus, (
+            f"node {state.name}: {state.allocated_cpus} CPUs allocated "
+            f"of {state.ncpus}"
+        )
+
+
+class TestResourceRequest:
+    def test_defaults_from_app(self):
+        app = configs.nest("Conf. 2")  # 4 ranks x 8 threads
+        request = ResourceRequest.for_app(app, nodes=configs.EVALUATION_NODES)
+        assert request == ResourceRequest(nodes=2, ntasks=4, cpus_per_task=8)
+        assert request.tasks_per_node == 2
+        assert request.cpus_per_node == 16
+
+    def test_workload_job_default_and_explicit(self):
+        app = configs.stream("Conf. 1")
+        implicit = WorkloadJob(app=app)
+        assert implicit.resource_request(default_nodes=2) == (
+            ResourceRequest.for_app(app, nodes=2)
+        )
+        explicit = WorkloadJob(
+            app=app, resources=ResourceRequest(nodes=1, ntasks=2, cpus_per_task=2)
+        )
+        assert explicit.resource_request(default_nodes=2).nodes == 1
+
+    def test_indivisible_tasks_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ResourceRequest(nodes=3, ntasks=2, cpus_per_task=1)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="min_nodes"):
+            ResourceRequest(nodes=2, ntasks=2, cpus_per_task=1, min_nodes=3)
+        with pytest.raises(ValueError, match="max_nodes"):
+            ResourceRequest(nodes=2, ntasks=2, cpus_per_task=1, max_nodes=1)
+
+    def test_effective_config_identity_when_matching(self):
+        app = configs.nest("Conf. 1")
+        request = ResourceRequest.for_app(app, nodes=2)
+        assert request.effective_config(app.config) is app.config
+
+    def test_effective_config_repartitions_ranks(self):
+        app = configs.nest("Conf. 2")  # 4 ranks x 8 threads
+        request = ResourceRequest(nodes=4, ntasks=8, cpus_per_task=8)
+        derived = request.effective_config(app.config)
+        assert derived.mpi_ranks == 8
+        assert derived.threads_per_rank == 8
+        assert derived.label == app.config.label
+
+
+class TestJobSpecBounds:
+    def test_rigid_spec_has_one_candidate(self):
+        assert spec(nodes=2, ntasks=4).placement_candidates() == [2]
+
+    def test_min_nodes_adds_divisible_shrinks(self):
+        s = spec(nodes=4, ntasks=4, min_nodes=1)
+        assert s.placement_candidates() == [4, 2, 1]  # 3 skipped: 4 % 3 != 0
+
+    def test_max_nodes_adds_divisible_widths(self):
+        s = spec(nodes=2, ntasks=4, max_nodes=8)
+        assert s.placement_candidates() == [4, 2]  # widening capped by ntasks
+        assert s.placement_candidates(expand=False) == [2]
+
+    def test_tasks_on_rejects_non_divisors(self):
+        with pytest.raises(ValueError, match="distributed"):
+            spec(nodes=2, ntasks=4).tasks_on(3)
+
+    def test_bounds_validated_on_spec(self):
+        with pytest.raises(ValueError, match="min_nodes"):
+            spec(min_nodes=5)
+        with pytest.raises(ValueError, match="max_nodes"):
+            spec(max_nodes=1)
+
+
+class TestHeterogeneousScheduling:
+    def test_mixed_sizes_fill_the_partition(self, uniform8):
+        """1-, 2- and 4-node jobs pack the 8 nodes simultaneously."""
+        ctld = Slurmctld(uniform8, drom_enabled=False)
+        ctld.submit(spec(name="wide", nodes=4, ntasks=4, cpt=16), time=0.0)
+        ctld.submit(spec(name="mid", nodes=2, ntasks=2, cpt=16), time=0.0)
+        ctld.submit(spec(name="small1", nodes=1, ntasks=1, cpt=16), time=0.0)
+        ctld.submit(spec(name="small2", nodes=1, ntasks=1, cpt=16), time=0.0)
+        decisions = ctld.schedule(0.0)
+        assert len(decisions) == 4
+        assert_no_overallocation(ctld)
+        # Exclusive full-CPU requests: every node hosts exactly one job.
+        allocated = [n for d in decisions for n in d.nodes]
+        assert len(allocated) == 8 and len(set(allocated)) == 8
+
+    def test_small_job_backfills_around_queued_wide_job(self, uniform8):
+        """The scenario the paper's DROM design motivates but never exercises:
+        a 1-node job starts ahead of a blocked 4-node job."""
+        ctld = Slurmctld(uniform8, drom_enabled=False, backfill=True)
+        ctld.submit(spec(name="running", nodes=6, ntasks=6, cpt=16), time=0.0)
+        ctld.schedule(0.0)
+        blocked = ctld.submit(spec(name="wide", nodes=4, ntasks=4, cpt=16), time=1.0)
+        small = ctld.submit(spec(name="small", nodes=1, ntasks=1, cpt=16), time=2.0)
+        decisions = ctld.schedule(2.0)
+        assert [d.job.spec.name for d in decisions] == ["small"]
+        assert small.state is JobState.RUNNING and small.wait_time == 0.0
+        assert blocked.state is JobState.PENDING
+        assert blocked.pending_reason == "Resources"
+        assert_no_overallocation(ctld)
+
+    def test_without_backfill_fcfs_blocks_the_small_job(self, uniform8):
+        ctld = Slurmctld(uniform8, drom_enabled=False, backfill=False)
+        ctld.submit(spec(name="running", nodes=6, ntasks=6, cpt=16), time=0.0)
+        ctld.schedule(0.0)
+        ctld.submit(spec(name="wide", nodes=4, ntasks=4, cpt=16), time=1.0)
+        small = ctld.submit(spec(name="small", nodes=1, ntasks=1, cpt=16), time=2.0)
+        assert ctld.schedule(2.0) == []
+        assert small.state is JobState.PENDING
+
+    def test_partial_partition_placement(self, uniform8):
+        """A small job lands on the *leftover* CPUs of partly-used nodes."""
+        ctld = Slurmctld(uniform8, drom_enabled=False)
+        # 8 CPUs used on every node.
+        ctld.submit(spec(name="half", nodes=8, ntasks=8, cpt=8), time=0.0)
+        ctld.schedule(0.0)
+        small = ctld.submit(spec(name="small", nodes=2, ntasks=2, cpt=8), time=1.0)
+        decisions = ctld.schedule(1.0)
+        assert [d.job for d in decisions] == [small]
+        assert_no_overallocation(ctld)
+
+    def test_malleable_job_shrinks_to_min_nodes(self, uniform8):
+        """With min_nodes set, a blocked wide job starts shrunk instead."""
+        ctld = Slurmctld(uniform8, drom_enabled=True)
+        ctld.submit(spec(name="running", nodes=6, ntasks=6, cpt=16), time=0.0)
+        ctld.schedule(0.0)
+        shrinkable = ctld.submit(
+            spec(name="shrink", nodes=4, ntasks=4, cpt=8, min_nodes=2), time=1.0
+        )
+        decisions = ctld.schedule(1.0)
+        assert [d.job for d in decisions] == [shrinkable]
+        # Granted the two free nodes with the tasks re-packed 2-per-node.
+        assert len(shrinkable.allocated_nodes) == 2
+        for name in shrinkable.allocated_nodes:
+            tasks, cpus, _malleable = ctld.nodes[name].running[shrinkable.job_id]
+            assert tasks == 2 and cpus == 16
+        assert_no_overallocation(ctld)
+
+    def test_malleable_job_widens_to_max_nodes(self, uniform8):
+        """With max_nodes set and a free partition, the job spreads wider."""
+        ctld = Slurmctld(uniform8, drom_enabled=True)
+        widened = ctld.submit(
+            spec(name="widen", nodes=2, ntasks=4, cpt=4, max_nodes=8), time=0.0
+        )
+        ctld.schedule(0.0)
+        # ntasks=4 caps the widening at 4 nodes (1 task each).
+        assert len(widened.allocated_nodes) == 4
+        for name in widened.allocated_nodes:
+            tasks, cpus, _malleable = ctld.nodes[name].running[widened.job_id]
+            assert tasks == 1 and cpus == 4
+        assert_no_overallocation(ctld)
+
+    def test_min_nodes_relaxes_submit_validation(self, mn3_cluster):
+        ctld = Slurmctld(mn3_cluster)
+        with pytest.raises(ValueError, match="at least"):
+            ctld.submit(spec(nodes=4, ntasks=4), time=0.0)
+        job = ctld.submit(spec(nodes=4, ntasks=4, cpt=8, min_nodes=2), time=0.0)
+        ctld.schedule(0.0)
+        assert job.state is JobState.RUNNING
+        assert len(job.allocated_nodes) == 2
+
+    def test_rigid_jobs_ignore_malleability_bounds(self, uniform8):
+        """Bounds are a malleability contract: a non-malleable job is placed
+        at exactly its requested width or not at all."""
+        ctld = Slurmctld(uniform8, drom_enabled=True)
+        ctld.submit(spec(name="running", nodes=6, ntasks=6, cpt=16), time=0.0)
+        ctld.schedule(0.0)
+        rigid = ctld.submit(
+            spec(name="rigid", nodes=4, ntasks=4, cpt=8, min_nodes=2,
+                 malleable=False),
+            time=1.0,
+        )
+        assert ctld.schedule(1.0) == []
+        assert rigid.state is JobState.PENDING
+        assert spec(nodes=4, ntasks=4, min_nodes=1, malleable=False
+                    ).placement_candidates() == [4]
+
+    def test_rigid_jobs_keep_strict_submit_validation(self, mn3_cluster):
+        ctld = Slurmctld(mn3_cluster)
+        with pytest.raises(ValueError, match="at least"):
+            ctld.submit(
+                spec(nodes=4, ntasks=4, cpt=8, min_nodes=2, malleable=False),
+                time=0.0,
+            )
+
+    def test_submit_rejects_unusable_min_nodes(self):
+        """Regression: min_nodes below the partition size is not enough — the
+        narrowest *divisible* candidate must fit, or the job pends forever."""
+        ctld = Slurmctld(ClusterTopology.uniform(5), drom_enabled=True)
+        # ntasks=6: candidates are [6] only (5 and 4 don't divide 6), so the
+        # job can never be placed on 5 nodes despite min_nodes=4.
+        with pytest.raises(ValueError, match="at least 6"):
+            ctld.submit(
+                spec(nodes=6, ntasks=6, cpt=1, min_nodes=4), time=0.0
+            )
+        # A divisible shrink width keeps the job admissible.
+        job = ctld.submit(spec(nodes=6, ntasks=6, cpt=1, min_nodes=3), time=0.0)
+        ctld.schedule(0.0)
+        assert len(job.allocated_nodes) == 3
+
+    def test_submit_rejects_per_node_cpu_overflow(self, mn3_cluster):
+        """Regression: a bounded job whose every usable width needs more CPUs
+        per node than a node has must be rejected at submit, not pend forever."""
+        serial = Slurmctld(mn3_cluster, drom_enabled=False)
+        oversized = spec(nodes=4, ntasks=4, cpt=16, min_nodes=1)
+        with pytest.raises(ValueError, match="never be placed"):
+            serial.submit(oversized, time=0.0)
+        # Under DROM a malleable job only needs a CPU per task (co-allocation
+        # shrinks the masks), so the same request is admissible...
+        drom = Slurmctld(mn3_cluster, drom_enabled=True)
+        job = drom.submit(oversized, time=0.0)
+        drom.schedule(0.0)
+        assert job.state is JobState.RUNNING
+        # ...but a rigid job that fits node-count-wise still trips the
+        # CPU-capacity check, even under DROM.
+        with pytest.raises(ValueError, match="never be placed"):
+            drom.submit(
+                spec(nodes=2, ntasks=2, cpt=32, malleable=False), time=0.0
+            )
+
+    def test_submit_admission_never_counts_on_widened_coallocation(self):
+        """Regression: the scheduler never co-allocates beyond the requested
+        width, so admission must not rely on a task-fit at widened widths —
+        this job used to be admitted and then pend forever on an idle
+        partition."""
+        cluster = ClusterTopology.uniform(4, sockets=1, cores_per_socket=8)
+        ctld = Slurmctld(cluster, drom_enabled=True)
+        with pytest.raises(ValueError, match="never be placed"):
+            ctld.submit(
+                spec(nodes=2, ntasks=32, cpt=2, max_nodes=4), time=0.0
+            )
+
+
+def small_app(factory, config, total_work, iterations=8):
+    return factory(config, total_work=total_work, iterations=iterations)
+
+
+class TestRunnerHeterogeneous:
+    @staticmethod
+    def _mixed_workload() -> Workload:
+        """NEST on 2 nodes plus a 1-node STREAM, on a 4-node partition."""
+        nest = small_app(configs.nest, "Conf. 1", total_work=800.0)
+        stream = small_app(configs.stream, "Conf. 1", total_work=40.0)
+        return Workload(
+            name="mixed",
+            jobs=(
+                WorkloadJob(app=nest, submit_time=0.0),
+                WorkloadJob(
+                    app=stream,
+                    submit_time=5.0,
+                    resources=ResourceRequest.for_app(stream, nodes=1),
+                ),
+            ),
+            nodes=2,
+        )
+
+    @pytest.mark.parametrize("drom_enabled", [False, True])
+    def test_mixed_sizes_complete_under_both_scenarios(self, drom_enabled):
+        cluster = ClusterTopology.marenostrum3(4)
+        result = ScenarioRunner(drom_enabled, cluster=cluster).run(
+            self._mixed_workload(), trace=False
+        )
+        assert len(result.metrics.jobs) == 2
+        # The per-job requests reached the controller verbatim.
+        assert len(result.jobs["NEST Conf. 1"].allocated_nodes) == 2
+        assert len(result.jobs["STREAM Conf. 1"].allocated_nodes) == 1
+        # Two free nodes remain, so the small job never waits.
+        assert result.metrics.wait_times()["STREAM Conf. 1"] == 0.0
+
+    def test_small_job_backfills_ahead_of_larger_queued_job(self):
+        """Acceptance: end to end through the runner, a 1-node job overtakes
+        a queued 4-node job while the partition is partly busy."""
+        cluster = ClusterTopology.marenostrum3(4)
+        running = small_app(configs.nest, "Conf. 1", total_work=800.0)
+        wide = small_app(configs.nest, "Conf. 2", total_work=800.0)
+        small = small_app(configs.stream, "Conf. 1", total_work=40.0)
+        workload = Workload(
+            name="backfill-race",
+            jobs=(
+                WorkloadJob(app=running, submit_time=0.0),
+                WorkloadJob(
+                    app=wide,
+                    submit_time=10.0,
+                    resources=ResourceRequest(nodes=4, ntasks=4, cpus_per_task=8),
+                ),
+                WorkloadJob(
+                    app=small,
+                    submit_time=20.0,
+                    resources=ResourceRequest.for_app(small, nodes=1),
+                ),
+            ),
+            nodes=2,
+        )
+        backfilled = ScenarioRunner(False, cluster=cluster, backfill=True).run(
+            workload, trace=False
+        )
+        fcfs = ScenarioRunner(False, cluster=cluster).run(workload, trace=False)
+
+        wide_job = backfilled.jobs["NEST Conf. 2"]
+        small_job = backfilled.jobs["STREAM Conf. 1"]
+        # With backfill the small job starts immediately, ahead of the wide
+        # job that is still waiting for the whole partition.
+        assert small_job.start_time == pytest.approx(20.0)
+        assert small_job.start_time < wide_job.start_time
+        # Without backfill it queues behind the wide job (strict FCFS).
+        assert fcfs.jobs["STREAM Conf. 1"].wait_time > 0.0
+        assert (
+            fcfs.jobs["STREAM Conf. 1"].start_time
+            >= fcfs.jobs["NEST Conf. 2"].start_time
+        )
+
+
+class TestGeneratorFamilies:
+    HETERO = WorkloadSpec(
+        njobs=8,
+        arrival=BURSTY,
+        burst_size=4,
+        mean_interarrival=120.0,
+        size_mix=MIXED_SIZES,
+        work_scale=0.04,
+        iterations=12,
+        name="hetero",
+    )
+
+    def test_sizes_drawn_from_mix(self):
+        sizes = {
+            job.resources.nodes
+            for seed in range(6)
+            for job in generate_workload(self.HETERO, seed).jobs
+        }
+        assert sizes <= {1, 2, 4}
+        assert len(sizes) >= 2  # heavy tail still mixes sizes
+
+    def test_requests_preserve_rank_density(self):
+        entry = SizeMixEntry(nodes=4)
+        wide = draw_request(configs.nest("Conf. 2"), entry)  # 2 ranks/node
+        assert wide == ResourceRequest(nodes=4, ntasks=8, cpus_per_task=8)
+        narrow = draw_request(configs.stream("Conf. 1"), SizeMixEntry(nodes=1))
+        assert narrow == ResourceRequest(nodes=1, ntasks=1, cpus_per_task=2)
+
+    def test_size_mix_bounds_propagate(self):
+        entry = SizeMixEntry(nodes=4, min_nodes=1, max_nodes=8)
+        request = draw_request(configs.stream("Conf. 1"), entry)
+        assert request.min_nodes == 1 and request.max_nodes == 8
+
+    def test_bursty_arrivals_group_submissions(self):
+        workload = generate_workload(self.HETERO, 3)
+        times = [job.submit_time for job in workload.jobs]
+        assert times[0] == times[1] == times[2] == times[3] == 0.0
+        assert times[4] == times[5] == times[6] == times[7] > 0.0
+
+    def test_deterministic_in_seed(self):
+        assert generate_workload(self.HETERO, 9) == generate_workload(self.HETERO, 9)
+
+    def test_uniform_spec_emits_no_explicit_requests(self):
+        plain = WorkloadSpec(njobs=3, work_scale=0.04, iterations=12)
+        assert all(j.resources is None for j in generate_workload(plain, 0).jobs)
+
+    def test_burst_size_is_normalised_for_non_bursty_arrivals(self):
+        """Regression: the inert field must not split identical simulations
+        into different campaign cells."""
+        a = WorkloadSpec(njobs=3, arrival="poisson", burst_size=8)
+        b = WorkloadSpec(njobs=3, arrival="poisson")
+        assert a == b
+        assert a.burst_size == b.burst_size == 4
+        # Bursty specs keep their burst size, and zero is still rejected.
+        assert WorkloadSpec(arrival=BURSTY, burst_size=8).burst_size == 8
+        with pytest.raises(ValueError, match="burst_size"):
+            WorkloadSpec(arrival=BURSTY, burst_size=0)
+
+    def test_generated_workload_runs_end_to_end(self):
+        workload = generate_workload(self.HETERO, 1)
+        cluster = ClusterTopology.uniform(8)
+        for drom_enabled in (False, True):
+            result = ScenarioRunner(
+                drom_enabled, cluster=cluster, backfill=True
+            ).run(workload, trace=False)
+            assert len(result.metrics.jobs) == self.HETERO.njobs
+
+
+class TestHeterogeneousCampaign:
+    """Acceptance: mixed-size workloads through run_campaign with backfill."""
+
+    SPEC = CampaignSpec(
+        name="hetero-acceptance",
+        workloads=tuple(
+            SyntheticWorkloadRef(spec=TestGeneratorFamilies.HETERO, seed=seed)
+            for seed in range(2)
+        ),
+        scenarios=(SERIAL, DROM),
+        clusters=(ClusterRef(nnodes=8, kind="uniform"),),
+        schedulers=(SchedulerRef(backfill=True),),
+    )
+
+    def test_grid_really_is_heterogeneous(self):
+        workload = self.SPEC.workloads[0].build()
+        assert len({j.resources.nodes for j in workload.jobs}) >= 2
+
+    def test_pooled_equals_serial_byte_for_byte(self):
+        serial = run_campaign(self.SPEC, workers=1)
+        pooled = run_campaign(self.SPEC, workers=2)
+        assert serial.rows == pooled.rows
+        assert serial.to_table() == pooled.to_table()
+
+
+class TestInSituHeterogeneous:
+    def test_analytics_nodes_shrinks_the_request(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2",
+                                    analytics_nodes=1)
+        assert workload.jobs[0].resources is None
+        assert workload.jobs[1].resources == ResourceRequest(
+            nodes=1, ntasks=2, cpus_per_task=1
+        )
+
+    def test_shrunk_analytics_coallocates_on_one_node(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2",
+                                    analytics_nodes=1)
+        result = ScenarioRunner(True).run(workload, trace=False)
+        assert len(result.jobs["Pils Conf. 2"].allocated_nodes) == 1
+        assert result.metrics.wait_times()["Pils Conf. 2"] == 0.0

@@ -20,11 +20,16 @@ from repro.campaign import (
 )
 from repro.results import ResultStore, content_key, spec_contents, spec_from_contents
 from repro.results.__main__ import main as results_cli
-from repro.workload.generator import WorkloadSpec
+from repro.workload.generator import SizeMixEntry, WorkloadSpec, heavy_tailed_size_mix
 from repro.workload.runner import DROM, SERIAL
 
 #: Cheap synthetic family — small enough that a grid of them stays test-sized.
 SMALL = WorkloadSpec(njobs=2, mean_interarrival=90.0, work_scale=0.04, iterations=12)
+
+#: Heterogeneous variant: per-job node requests drawn from a size mix.
+SMALL_HETERO = dataclasses.replace(
+    SMALL, size_mix=heavy_tailed_size_mix(4), arrival="bursty", burst_size=2
+)
 
 
 def small_spec(nworkloads: int = 1, **kwargs) -> CampaignSpec:
@@ -91,14 +96,50 @@ class TestContentKey:
         assert len(key) == 64
         assert key == content_key(a_run())
 
+    def test_resource_requests_enter_the_hash(self):
+        # The tentpole's aliasing hazard: the same family with and without a
+        # size mix (or with a shrunk analytics job) computes different
+        # simulations and must occupy different cells.
+        uniform = a_run()
+        hetero = a_run(workload=SyntheticWorkloadRef(spec=SMALL_HETERO, seed=0))
+        assert content_key(uniform) != content_key(hetero)
+        insitu = a_run(workload=InSituWorkloadRef("NEST", "Conf. 1", "Pils", "Conf. 2"))
+        shrunk = a_run(
+            workload=InSituWorkloadRef(
+                "NEST", "Conf. 1", "Pils", "Conf. 2", analytics_nodes=1
+            )
+        )
+        assert content_key(insitu) != content_key(shrunk)
+        assert insitu.run_id != shrunk.run_id
+
+    def test_inert_burst_size_does_not_split_cells(self):
+        # Regression: for non-bursty arrivals burst_size changes nothing the
+        # run computes, so it must not change the content key either.
+        loud = a_run(
+            workload=SyntheticWorkloadRef(
+                spec=dataclasses.replace(SMALL, burst_size=8), seed=0
+            )
+        )
+        assert content_key(loud) == content_key(a_run())
+
     @pytest.mark.parametrize(
         "workload",
         [
             SyntheticWorkloadRef(spec=SMALL, seed=3),
+            SyntheticWorkloadRef(spec=SMALL_HETERO, seed=3),
+            SyntheticWorkloadRef(
+                spec=dataclasses.replace(
+                    SMALL,
+                    size_mix=(SizeMixEntry(nodes=2, min_nodes=1, max_nodes=4),),
+                ),
+                seed=1,
+            ),
             InSituWorkloadRef(
                 "NEST", "Conf. 1", "Pils", "Conf. 2",
                 simulator_kwargs=(("malleable", False),),
             ),
+            InSituWorkloadRef("NEST", "Conf. 1", "Pils", "Conf. 2",
+                              analytics_nodes=1),
             HighPriorityWorkloadRef(second_submit=60.0),
         ],
     )
@@ -310,3 +351,94 @@ class TestResultsCli:
         assert len(populated) == 1
         remaining = next(populated.entries())
         assert remaining.contents["scenario"] == DROM
+
+    def test_merge_many_shards(self, tmp_path, capsys):
+        # The shard transport: N shard stores union into one target store.
+        spec = small_spec(nworkloads=2)
+        shard_roots = []
+        for i, shard_spec in enumerate(spec.shard(2)):
+            store = ResultStore(tmp_path / f"shard-{i}")
+            run_campaign(shard_spec, store=store)
+            shard_roots.append(str(store.root))
+        out_root = tmp_path / "merged"
+        assert results_cli(["merge", str(out_root)] + shard_roots) == 0
+        printed = capsys.readouterr().out
+        assert f"{len(ResultStore(out_root))} cell(s)" in printed
+        merged = ResultStore(out_root)
+        assert len(merged) == spec.nruns
+        warm = run_campaign(spec, store=merged)
+        assert warm.executed == 0 and warm.cache_hits == spec.nruns
+
+    def test_merge_rejects_missing_shard_roots(self, populated, tmp_path, capsys):
+        # Regression: a typo'd shard path must fail loudly, not merge nothing.
+        code = results_cli(
+            ["merge", str(tmp_path / "out"), str(populated.root),
+             str(tmp_path / "no-such-shard")]
+        )
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err
+        assert len(ResultStore(tmp_path / "out")) == 0  # nothing half-merged
+
+    def test_merge_is_idempotent(self, populated, tmp_path, capsys):
+        out = tmp_path / "merged"
+        root = str(populated.root)
+        assert results_cli(["merge", str(out), root]) == 0
+        assert results_cli(["merge", str(out), root]) == 0
+        assert "0 of 2" in capsys.readouterr().out
+        assert len(ResultStore(out)) == len(populated)
+
+
+class TestSchemaVersioning:
+    """The v1 → v2 hash-input bump: stale cells are invalid, never aliased."""
+
+    def _downgrade(self, store: ResultStore, key: str) -> None:
+        path = store.path_for(key)
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        path.write_text(json.dumps(payload))
+
+    def test_v1_cell_is_never_a_v2_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        run_campaign(spec, store=store)
+        for key in store.keys():
+            self._downgrade(store, key)
+        # Regression: a v1 entry at the right path must read as a miss...
+        assert all(store.get(run) is None for run in spec.expand())
+        # ...so a warm campaign re-simulates everything instead of aliasing.
+        rerun = run_campaign(spec, store=store)
+        assert rerun.executed == spec.nruns and rerun.cache_hits == 0
+
+    def test_merge_never_imports_and_never_keeps_stale_entries(self, tmp_path):
+        """Regression: cells whose contents survived the schema bump keep
+        their key, so a pre-bump shard must neither ship v1 files nor shadow
+        the other shard's current entry."""
+        spec = small_spec()
+        stale = ResultStore(tmp_path / "stale")
+        run_campaign(spec, store=stale)
+        for key in stale.keys():
+            self._downgrade(stale, key)
+        fresh = ResultStore(tmp_path / "fresh")
+        run_campaign(spec, store=fresh)
+
+        # v1 sources are never imported...
+        merged = ResultStore(tmp_path / "merged")
+        assert merged.merge(stale) == 0 and len(merged) == 0
+        # ...and a v1 local file does not block the current entry.
+        assert stale.merge(fresh) == spec.nruns
+        warm = run_campaign(spec, store=stale)
+        assert warm.executed == 0 and warm.cache_hits == spec.nruns
+
+    def test_gc_collects_previous_schema_version(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        run_campaign(spec, store=store)
+        downgraded = store.keys()[0]
+        self._downgrade(store, downgraded)
+        # No predicate needed: old-format entries are always candidates.
+        doomed = store.gc(dry_run=True)
+        assert doomed == [downgraded]
+        removed = store.gc()
+        assert removed == [downgraded]
+        assert downgraded not in store.keys()
+        assert len(store) == spec.nruns - 1

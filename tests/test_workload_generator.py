@@ -102,7 +102,7 @@ class TestValidation:
 
     def test_bad_arrival_rejected(self):
         with pytest.raises(ValueError, match="arrival"):
-            WorkloadSpec(arrival="bursty")
+            WorkloadSpec(arrival="lognormal")
 
     def test_zero_weights_rejected(self):
         with pytest.raises(ValueError, match="positive weight"):
