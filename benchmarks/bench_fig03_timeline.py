@@ -3,7 +3,8 @@
 Regenerates the schematic from real simulated runs: in the Serial scenario the
 analytics only starts when the simulation ends; with DROM it starts at
 submission, borrowing part of the simulation's CPUs, which it returns when it
-finishes.
+finishes.  Reads through both store tiers: after the first cold run, the
+timelines replay from the shared warm trace store without simulating.
 """
 
 from __future__ import annotations
@@ -11,8 +12,10 @@ from __future__ import annotations
 from repro.experiments.usecase1 import scenario_timelines
 
 
-def test_figure3_timelines(benchmark, report):
-    timelines = benchmark(scenario_timelines)
+def test_figure3_timelines(benchmark, report, warm_store, warm_trace_store):
+    timelines = benchmark(
+        scenario_timelines, store=warm_store, trace_store=warm_trace_store
+    )
     serial, drom = timelines["serial"], timelines["drom"]
     text = (
         "Serial scenario (analytics waits for the simulation):\n"

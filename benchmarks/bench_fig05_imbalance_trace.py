@@ -3,7 +3,8 @@
 The paper's trace shows that when thread 16 is removed, its statically
 partitioned data is computed by the first 4 threads while the others report
 lower utilisation (idle gaps).  The benchmark regenerates the per-thread
-utilisation and the ASCII timeline.
+utilisation and the ASCII timeline, reading through the warm trace store
+(zero simulations after the first cold run).
 """
 
 from __future__ import annotations
@@ -11,8 +12,10 @@ from __future__ import annotations
 from repro.experiments.usecase1 import imbalance_trace
 
 
-def test_figure5_static_partition_imbalance(benchmark, report):
-    trace = benchmark(imbalance_trace)
+def test_figure5_static_partition_imbalance(benchmark, report, warm_store, warm_trace_store):
+    trace = benchmark(
+        imbalance_trace, store=warm_store, trace_store=warm_trace_store
+    )
     lines = [f"workload: {trace.workload}", "", "utilisation during the shrunk window:"]
     lines += [f"  thread {t:2d}: {u:.2f}" for t, u in trace.shrunk_utilisation.items()]
     lines += [

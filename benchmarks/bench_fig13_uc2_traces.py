@@ -12,8 +12,10 @@ from __future__ import annotations
 from repro.experiments.usecase2 import run_usecase2
 
 
-def test_figure13_use_case2_traces(benchmark, report):
-    result = benchmark(run_usecase2)
+def test_figure13_use_case2_traces(benchmark, report, warm_store, warm_trace_store):
+    result = benchmark(
+        run_usecase2, store=warm_store, trace_store=warm_trace_store
+    )
     text = (
         f"Serial total run time: {result.serial_total_run_time:.0f} s\n"
         f"DROM   total run time: {result.drom_total_run_time:.0f} s\n"

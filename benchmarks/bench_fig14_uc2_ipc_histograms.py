@@ -12,8 +12,10 @@ import numpy as np
 from repro.experiments.usecase2 import run_usecase2
 
 
-def test_figure14_use_case2_ipc_histograms(benchmark, report):
-    result = benchmark(run_usecase2)
+def test_figure14_use_case2_ipc_histograms(benchmark, report, warm_store, warm_trace_store):
+    result = benchmark(
+        run_usecase2, store=warm_store, trace_store=warm_trace_store
+    )
     lines = []
     for scenario in ("serial", "drom"):
         lines.append(f"{scenario.upper()} IPC histograms (counts per 0.1-wide bin, 0..2):")

@@ -43,9 +43,26 @@ def warm_store(results_dir):
     regeneration cost a single cold sweep: every later invocation aggregates
     from cache.  The store lives under the gitignored results directory and
     survives sessions — delete it (or ``python -m repro.results gc``) to
-    force a re-simulation.  Trace-based figures (3, 5, 13, 14) still
-    simulate: the store persists metrics rows, deliberately not full traces.
+    force a re-simulation.
     """
     from repro.results import ResultStore
 
     return ResultStore(results_dir / "store")
+
+
+@pytest.fixture(scope="session")
+def warm_trace_store(results_dir):
+    """The shared trace tier of the benchmark session.
+
+    The trace-based figures (3, 5, 13, 14) read their data through full
+    tracers, which the metrics tier deliberately does not persist.  Paired
+    with :func:`warm_store` (both tiers share the same content keys), this
+    :class:`~repro.traces.store.TraceStore` lets those figures *replay*
+    stored traces: after one cold run, a full figure regeneration — and the
+    benchmark harness's own timing rounds — simulates zero scenarios.
+    ``python -m repro.traces ls`` inspects it; ``gc``/deleting the directory
+    forces a re-simulation.
+    """
+    from repro.traces import TraceStore
+
+    return TraceStore(results_dir / "traces")

@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed result store: cells already in "
                             "the store are served from it, fresh rows are "
                             "written back (created if missing)")
+    sweep.add_argument("--trace-store", default=None, metavar="ROOT",
+                       help="content-addressed trace tier: every executed run "
+                            "persists its full trace under the same content "
+                            "key; with --store, a run only skips execution "
+                            "when both tiers hit (created if missing)")
     sweep.add_argument("--shard", default=None, metavar="K/N",
                        help="run only shard K of N (1-based): the workload "
                             "axis is dealt round-robin over N balanced shard "
@@ -227,12 +232,23 @@ def main(argv: list[str] | None = None) -> int:
         from repro.results.store import ResultStore
 
         store = ResultStore(args.store)
-    result = run_campaign(spec, workers=args.workers, store=store)
+    trace_store = None
+    if args.trace_store is not None:
+        from repro.traces.store import TraceStore
+
+        trace_store = TraceStore(args.trace_store)
+    result = run_campaign(
+        spec, workers=args.workers, store=store, trace_store=trace_store
+    )
     print(result.to_table())
     if store is not None:
         print(
             f"\nstore {store.root}: {result.cache_hits} cache hit(s), "
             f"{result.executed} simulated, {len(store)} cell(s) stored"
+        )
+    if trace_store is not None:
+        print(
+            f"trace store {trace_store.root}: {len(trace_store)} trace(s) stored"
         )
 
     by_scenario = result.by_scenario()

@@ -30,6 +30,8 @@ from repro.workload.runner import DROM, SERIAL, ScenarioResult, ScenarioRunner
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.results.sinks import TraceSink
     from repro.results.store import ResultStore
+    from repro.traces.query import ScenarioReplay
+    from repro.traces.store import TraceStore
 
 
 def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
@@ -57,19 +59,44 @@ def run_scenario_pair(
     workload: WorkloadRef,
     trace: bool = True,
     sinks: Iterable["TraceSink"] = (),
+    store: "ResultStore | None" = None,
+    trace_store: "TraceStore | None" = None,
     **run_kwargs,
-) -> dict[str, ScenarioResult]:
+) -> dict[str, "ScenarioResult | ScenarioReplay"]:
     """Serial and DROM full results of one workload (the experiments' idiom).
 
     ``sinks`` receive each scenario's full result (tracing is forced on when
     any sink is given), so the figure experiments export their traces through
     the same sink API as campaigns.
+
+    ``store``/``trace_store`` are the two content-addressed tiers.  When
+    *both* are given and both hit for a scenario, execution is skipped and a
+    :class:`~repro.traces.query.ScenarioReplay` (metrics row + stored
+    tracer, same reporting interface) is returned instead; on any miss the
+    scenario executes with tracing on and both tiers are written back.  This
+    is what lets the trace-based figure experiments regenerate from a warm
+    store without simulating.  Unlike campaign cache hits, replays *do*
+    carry a full tracer, so sinks are fed on both paths.
     """
     sinks = tuple(sinks)
     results: dict[str, ScenarioResult] = {}
     for i, scenario in enumerate((SERIAL, DROM)):
         run = RunSpec(index=i, scenario=scenario, workload=workload, **run_kwargs)
-        result = execute_run(run, trace=trace or bool(sinks))
+        result = None
+        if store is not None and trace_store is not None:
+            row = store.get(run)
+            entry = trace_store.get(run) if row is not None else None
+            if row is not None and entry is not None:
+                from repro.traces.query import replay_scenario
+
+                result = replay_scenario(run, row, entry)
+        if result is None:
+            capture = trace or bool(sinks) or trace_store is not None
+            result = execute_run(run, trace=capture)
+            if store is not None:
+                store.put(summarise_run(run, result))
+            if trace_store is not None:
+                trace_store.put(run, result)
         for sink in sinks:
             sink.write(run, result)
         results[scenario] = result
@@ -122,17 +149,22 @@ def summarise_run(run: RunSpec, result: ScenarioResult) -> RunMetrics:
 
 
 def _execute_and_summarise(
-    run: RunSpec, sinks: tuple["TraceSink", ...] = ()
+    run: RunSpec,
+    sinks: tuple["TraceSink", ...] = (),
+    trace_store: "TraceStore | None" = None,
 ) -> RunMetrics:
     """Pool worker entry point (module-level so it pickles).
 
-    Tracing is enabled only when sinks want the full trace; each worker
-    writes its own runs' trace files (sink outputs are keyed per run, so
-    concurrent workers never collide).
+    Tracing is enabled only when sinks or the trace tier want the full
+    trace; each worker writes its own runs' trace files (sink outputs and
+    trace-store artifacts are keyed per run, so concurrent workers never
+    collide — and same-cell collisions write atomically).
     """
-    result = execute_run(run, trace=bool(sinks))
+    result = execute_run(run, trace=bool(sinks) or trace_store is not None)
     for sink in sinks:
         sink.write(run, result)
+    if trace_store is not None:
+        trace_store.put(run, result)
     return summarise_run(run, result)
 
 
@@ -215,6 +247,7 @@ def run_campaign(
     workers: int = 1,
     store: "ResultStore | None" = None,
     sinks: Iterable["TraceSink"] = (),
+    trace_store: "TraceStore | None" = None,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and aggregate the metrics.
 
@@ -230,6 +263,13 @@ def run_campaign(
     aggregation stays in run-index order, a warm campaign is byte-identical
     to a cold one.
 
+    ``trace_store`` adds the second tier: every run that executes does so
+    with tracing on and persists its full tracer under the same content key
+    (:class:`~repro.traces.store.TraceStore`).  A run skips execution only
+    when **both** tiers hit — a metrics hit whose trace artifact is missing
+    (or stale-format) re-simulates to backfill the trace, which re-derives
+    the identical row (runs are pure functions of their specs).
+
     ``sinks`` receive the full :class:`~repro.workload.runner.ScenarioResult`
     of every run that actually executes (cache hits carry no tracer, so they
     are not re-exported).
@@ -243,13 +283,13 @@ def run_campaign(
         misses = []
         for run in runs:
             cached = store.get(run)
-            if cached is not None:
+            if cached is not None and (trace_store is None or run in trace_store):
                 rows_by_index[run.index] = cached
             else:
                 misses.append(run)
     else:
         misses = list(runs)
-    worker = partial(_execute_and_summarise, sinks=sinks)
+    worker = partial(_execute_and_summarise, sinks=sinks, trace_store=trace_store)
     if not misses:
         fresh: list[RunMetrics] = []
     elif workers == 1:

@@ -248,6 +248,13 @@ class RunSpec:
             f"|{self.cluster.label}|{policy}|{self.scheduler.label}{interference}"
         )
 
+    @property
+    def cell_id(self) -> str:
+        """The run id minus its grid-index prefix — the identity of the
+        *cell* (what the content-addressed store tiers persist), shared by
+        every campaign that reaches the same simulation."""
+        return self.run_id.split("|", 1)[1]
+
 
 @dataclass(frozen=True)
 class CampaignSpec:

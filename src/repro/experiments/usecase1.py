@@ -221,15 +221,20 @@ def imbalance_trace(
     simulator: str = "NEST",
     simulator_config: str = "Conf. 1",
     analytics_config: str = "Conf. 2",
+    store=None,
+    trace_store=None,
 ) -> ImbalanceTrace:
     """Reproduce Figure 5: the static-partition imbalance after a shrink.
 
     The simulator loses one CPU per node to Pils Conf. 2; the orphaned data
     chunks are executed by a subset of the remaining threads, which therefore
     stay busy while the others show idle time.
+
+    With both store tiers given (``store`` for metrics, ``trace_store`` for
+    traces), a warm call replays the stored trace instead of simulating.
     """
     ref = InSituWorkloadRef(simulator, simulator_config, "Pils", analytics_config)
-    result: ScenarioResult = run_scenario_pair(ref)[DROM]
+    result = run_scenario_pair(ref, store=store, trace_store=trace_store)[DROM]
     workload = result.workload
     sim_label = workload.jobs[0].label
     tracer = result.tracer
@@ -279,14 +284,17 @@ def scenario_timelines(
     analytics: str = "Pils",
     analytics_config: str = "Conf. 2",
     sinks=(),
+    store=None,
+    trace_store=None,
 ) -> dict[str, ScenarioTimeline]:
     """Reproduce the Figure 3 schematic from actual simulated runs.
 
     ``sinks`` export both scenarios' traces via the
-    :class:`~repro.results.sinks.TraceSink` API.
+    :class:`~repro.results.sinks.TraceSink` API.  With both store tiers
+    given, warm calls replay stored traces instead of simulating.
     """
     ref = InSituWorkloadRef(simulator, simulator_config, analytics, analytics_config)
-    results = run_scenario_pair(ref, sinks=sinks)
+    results = run_scenario_pair(ref, sinks=sinks, store=store, trace_store=trace_store)
     workload = results[DROM].workload
     timelines: dict[str, ScenarioTimeline] = {}
     for scenario, result in results.items():

@@ -37,6 +37,32 @@ class StepRecord:
     def end(self) -> float:
         return self.start + self.duration
 
+    def to_record(self) -> dict:
+        """JSON-able representation (the JSONL sink / trace-store schema).
+
+        Floats serialise via ``repr`` (shortest-round-trip exact), so a step
+        survives the JSON round trip with exact float equality.
+        """
+        return {
+            "record": "step",
+            "job": self.job,
+            "rank": self.rank,
+            "node": self.node,
+            "start": self.start,
+            "duration": self.duration,
+            "phase": self.phase,
+            "nthreads": self.nthreads,
+            "thread_utilisation": list(self.thread_utilisation),
+            "ipc": self.ipc,
+            "work_units": self.work_units,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "StepRecord":
+        payload = {k: v for k, v in record.items() if k != "record"}
+        payload["thread_utilisation"] = tuple(payload["thread_utilisation"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class MaskChangeRecord:
@@ -48,6 +74,21 @@ class MaskChangeRecord:
     old_threads: int
     new_threads: int
 
+    def to_record(self) -> dict:
+        """JSON-able representation (the JSONL sink / trace-store schema)."""
+        return {
+            "record": "mask_change",
+            "job": self.job,
+            "rank": self.rank,
+            "time": self.time,
+            "old_threads": self.old_threads,
+            "new_threads": self.new_threads,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MaskChangeRecord":
+        return cls(**{k: v for k, v in record.items() if k != "record"})
+
 
 class Tracer:
     """Collects step and mask-change records for a whole scenario run."""
@@ -57,6 +98,12 @@ class Tracer:
         self._mask_changes: list[MaskChangeRecord] = []
         self._cycles_per_us = cycles_per_us
         self.events = EventLog()
+
+    @property
+    def cycles_per_us(self) -> float:
+        """Nominal cycles/µs the counter log scales by — persisted with the
+        trace so a replayed tracer derives identical counter samples."""
+        return self._cycles_per_us
 
     # -- recording -------------------------------------------------------------
 

@@ -17,6 +17,10 @@ package makes it *persistent and reusable*:
   ``run_campaign(..., sinks=...)`` / ``run_scenario_pair(..., sinks=...)``.
 * :mod:`repro.results.query` — list / show / diff reporting over stores,
   also available as ``python -m repro.results ls|show|diff|gc``.
+
+The *trace* tier — full per-run tracers, content-addressed by the same key —
+lives in :mod:`repro.traces`; ``python -m repro.results merge --traces``
+ships both tiers of a sharded campaign in one command.
 """
 
 from repro.results.query import (
@@ -30,6 +34,7 @@ from repro.results.sinks import (
     JsonlTraceSink,
     ParaverTraceSink,
     TraceSink,
+    prv_text,
     read_jsonl_trace,
     read_prv,
     run_stem,
@@ -55,6 +60,7 @@ __all__ = [
     "TraceSink",
     "ParaverTraceSink",
     "JsonlTraceSink",
+    "prv_text",
     "read_prv",
     "read_jsonl_trace",
     "run_stem",

@@ -5,7 +5,10 @@ Subcommands::
     ls    [--store ROOT]                    list stored cells
     show  KEY [--store ROOT]                per-job metrics of one cell
     diff  STORE_A STORE_B                   cell-by-cell campaign comparison
-    merge OUT SHARD [SHARD ...]             union N shard stores into OUT
+    merge OUT SHARD [SHARD ...] [--traces T_OUT T_SHARD ...]
+                                            union N shard stores into OUT,
+                                            optionally shipping the trace
+                                            tier in the same command
     gc    [--store ROOT] [filters] [--delete]   collect entries
 
 ``diff`` exits 0 when the stores agree on every shared cell and have the same
@@ -56,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--overwrite", action="store_true",
                        help="later shards overwrite existing keys "
                             "(default: first occurrence wins)")
+    merge.add_argument("--traces", nargs="+", default=None,
+                       metavar="TRACE_ROOT",
+                       help="also merge trace tiers: first value is the "
+                            "target trace store, the rest are the shards' "
+                            "trace stores — so one command ships both tiers "
+                            "of a sharded campaign")
 
     gc = sub.add_parser("gc", help="collect entries (dry run without --delete)")
     gc.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
@@ -109,10 +118,18 @@ def main(argv: list[str] | None = None) -> int:
         print(render_diff(diff))
         return 0 if diff.identical else 1
     if args.command == "merge":
+        from repro.traces.store import TraceStore
+
         out = ResultStore(args.out)
+        if args.traces is not None and len(args.traces) < 2:
+            print("--traces needs a target root and at least one shard root",
+                  file=sys.stderr)
+            return 2
         # A typo'd shard path must not read as a successful (empty) merge:
         # the whole point is transporting another host's cells.
+        trace_shards = args.traces[1:] if args.traces is not None else []
         missing = [root for root in args.shards if not ResultStore(root).root.is_dir()]
+        missing += [root for root in trace_shards if not TraceStore(root).root.is_dir()]
         if missing:
             for root in missing:
                 print(f"shard store {root} does not exist", file=sys.stderr)
@@ -124,6 +141,17 @@ def main(argv: list[str] | None = None) -> int:
             total += copied
             print(f"merged {shard.root}: {copied} of {len(shard)} entr(y/ies) copied")
         print(f"store {out.root}: {len(out)} cell(s) after merging {total}")
+        if args.traces is not None:
+            trace_out = TraceStore(args.traces[0])
+            trace_total = 0
+            for shard_root in trace_shards:
+                shard = TraceStore(shard_root)
+                copied = trace_out.merge(shard, overwrite=args.overwrite)
+                trace_total += copied
+                print(f"merged traces {shard.root}: "
+                      f"{copied} of {len(shard)} trace(s) copied")
+            print(f"trace store {trace_out.root}: {len(trace_out)} trace(s) "
+                  f"after merging {trace_total}")
         return 0
     if args.command == "gc":
         store = ResultStore(args.store)

@@ -60,7 +60,7 @@ def render_entry(entry: StoreEntry) -> str:
     row = entry.row()
     header = [
         f"key       {entry.key}",
-        f"run       {row.run.run_id.split('|', 1)[1]}",
+        f"run       {row.run.cell_id}",
         f"workload  {row.workload_name}",
         f"total run time    {row.total_run_time:.3f} s",
         f"avg response time {row.average_response_time:.3f} s",

@@ -17,11 +17,19 @@ Two sinks are provided:
   from any analysis environment; :func:`read_jsonl_trace` round-trips it back
   into a :class:`~repro.metrics.tracing.Tracer`.
 
-Both sinks derive their file names from the run's content key, so re-exports
-of the same cell overwrite instead of accumulating, and concurrent pool
-workers never collide (distinct runs have distinct keys).  Sinks are plain
-picklable dataclasses: the campaign runner ships them into its worker pool
-and each worker writes its own runs' files.
+Both sinks derive their file names from the run's **content key alone** (the
+grid ``index`` is deliberately excluded — the same cell reached from two
+campaigns is the same simulation and must map to one file), so re-exports of
+the same cell overwrite instead of accumulating, and concurrent pool workers
+never collide (distinct runs have distinct keys).  The index survives only as
+a field of the JSONL run header.  Sinks are plain picklable dataclasses: the
+campaign runner ships them into its worker pool and each worker writes its
+own runs' files.
+
+The persistent sibling of these one-shot exports is
+:class:`repro.traces.store.TraceStore` — the compressed content-addressed
+trace tier; ``python -m repro.traces export`` re-emits either format from a
+stored cell on demand.
 """
 
 from __future__ import annotations
@@ -58,12 +66,107 @@ class TraceSink(Protocol):
 
 
 def run_stem(run: RunSpec) -> str:
-    """Deterministic per-run file stem: grid index, scenario, content key."""
-    return f"{run.index:04d}-{run.scenario}-{content_key(run)[:12]}"
+    """Deterministic per-run file stem: scenario plus content key.
+
+    The grid ``index`` is excluded on purpose: it names a *position* in one
+    campaign, not a simulation, and embedding it used to write duplicate
+    files for the same cell reached from two campaigns — contradicting the
+    content-addressing contract.  The scenario prefix is redundant with the
+    key but keeps directories human-scannable.
+    """
+    return f"{run.scenario}-{content_key(run)[:12]}"
 
 
 def _us(t: float) -> int:
     return int(round(t * 1_000_000))
+
+
+def prv_text(tracer: Tracer) -> str:
+    """The ``.prv``-style rendering of a tracer (header + sorted records).
+
+    A module-level function so the trace tier (``python -m repro.traces
+    export``) re-emits stored cells through exactly the same code path as the
+    live :class:`ParaverTraceSink` — the two outputs are byte-identical.
+    """
+    view = ParaverView(tracer) if len(tracer) else None
+    ftime = _us(view.horizon()) if view is not None else 0
+
+    jobs = tracer.jobs()
+    appl = {job: i + 1 for i, job in enumerate(jobs)}
+    nodes = sorted({step.node for step in tracer})
+    cpu = {node: i + 1 for i, node in enumerate(nodes)}
+    # Where each rank runs, for records that don't carry a node themselves
+    # (mask changes); ranks never migrate nodes within a run.
+    rank_cpu = {(step.job, step.rank): cpu[step.node] for step in tracer}
+    phases = sorted({step.phase for step in tracer})
+    phase_id = {name: i + 1 for i, name in enumerate(phases)}
+
+    # Application list: one app per job, one task per rank, with the
+    # maximum team size the rank ever ran with.
+    appl_list = []
+    for job in jobs:
+        ranks = sorted({step.rank for step in tracer.steps(job)})
+        threads = [
+            max(step.nthreads for step in tracer.steps(job, rank)) for rank in ranks
+        ]
+        appl_list.append(
+            f"{len(ranks)}({','.join(f'{t}:{r + 1}' for r, t in zip(ranks, threads))})"
+        )
+    header = (
+        "#Paraver (01/01/2000 at 00:00)"
+        f":{ftime}_us:{max(len(nodes), 1)}({','.join('1' for _ in nodes) or '1'})"
+        f":{len(jobs)}:{':'.join(appl_list)}"
+    )
+
+    # (time, sort class, recording sequence, line): same-time records keep
+    # their recording order, so re-exports are deterministic.
+    records: list[tuple[int, int, int, str]] = []
+    for step in tracer:
+        for thread in range(step.nthreads):
+            records.append(
+                (
+                    _us(step.start),
+                    0,
+                    len(records),
+                    f"{STATE_RUNNING}:{cpu[step.node]}:{appl[step.job]}"
+                    f":{step.rank + 1}:{thread + 1}"
+                    f":{_us(step.start)}:{_us(step.end)}:{STATE_RUNNING}",
+                )
+            )
+        records.append(
+            (
+                _us(step.start),
+                1,
+                len(records),
+                f"2:{cpu[step.node]}:{appl[step.job]}:{step.rank + 1}:1"
+                f":{_us(step.start)}"
+                f":{EV_STEP_IPC_MILLI}:{int(round(step.ipc * 1000))}"
+                f":{EV_STEP_PHASE}:{phase_id[step.phase]}",
+            )
+        )
+    for change in tracer.mask_changes():
+        job_appl = appl.get(change.job)
+        if job_appl is None:
+            continue  # job produced no steps; nothing to anchor the event to
+        records.append(
+            (
+                _us(change.time),
+                2,
+                len(records),
+                f"2:{rank_cpu.get((change.job, change.rank), 1)}"
+                f":{job_appl}:{change.rank + 1}:1:{_us(change.time)}"
+                f":{EV_THREAD_COUNT}:{change.new_threads}",
+            )
+        )
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
+
+    lines = [header]
+    # Phase-name table as comments, so the .prv stays self-describing
+    # without a separate .pcf file.
+    for name in phases:
+        lines.append(f"# phase {phase_id[name]} {name}")
+    lines.extend(line for _t, _c, _s, line in records)
+    return "\n".join(lines) + "\n"
 
 
 @dataclass(frozen=True)
@@ -73,90 +176,10 @@ class ParaverTraceSink:
     root: str | os.PathLike
 
     def write(self, run: RunSpec, result: ScenarioResult) -> Path:
-        tracer = result.tracer
-        view = ParaverView(tracer) if len(tracer) else None
-        ftime = _us(view.horizon()) if view is not None else 0
-
-        jobs = tracer.jobs()
-        appl = {job: i + 1 for i, job in enumerate(jobs)}
-        nodes = sorted({step.node for step in tracer})
-        cpu = {node: i + 1 for i, node in enumerate(nodes)}
-        # Where each rank runs, for records that don't carry a node themselves
-        # (mask changes); ranks never migrate nodes within a run.
-        rank_cpu = {(step.job, step.rank): cpu[step.node] for step in tracer}
-        phases = sorted({step.phase for step in tracer})
-        phase_id = {name: i + 1 for i, name in enumerate(phases)}
-
-        # Application list: one app per job, one task per rank, with the
-        # maximum team size the rank ever ran with.
-        appl_list = []
-        for job in jobs:
-            ranks = sorted({step.rank for step in tracer.steps(job)})
-            threads = [
-                max(step.nthreads for step in tracer.steps(job, rank)) for rank in ranks
-            ]
-            appl_list.append(
-                f"{len(ranks)}({','.join(f'{t}:{r + 1}' for r, t in zip(ranks, threads))})"
-            )
-        header = (
-            "#Paraver (01/01/2000 at 00:00)"
-            f":{ftime}_us:{max(len(nodes), 1)}({','.join('1' for _ in nodes) or '1'})"
-            f":{len(jobs)}:{':'.join(appl_list)}"
-        )
-
-        # (time, sort class, recording sequence, line): same-time records keep
-        # their recording order, so re-exports are deterministic.
-        records: list[tuple[int, int, int, str]] = []
-        for step in tracer:
-            for thread in range(step.nthreads):
-                records.append(
-                    (
-                        _us(step.start),
-                        0,
-                        len(records),
-                        f"{STATE_RUNNING}:{cpu[step.node]}:{appl[step.job]}"
-                        f":{step.rank + 1}:{thread + 1}"
-                        f":{_us(step.start)}:{_us(step.end)}:{STATE_RUNNING}",
-                    )
-                )
-            records.append(
-                (
-                    _us(step.start),
-                    1,
-                    len(records),
-                    f"2:{cpu[step.node]}:{appl[step.job]}:{step.rank + 1}:1"
-                    f":{_us(step.start)}"
-                    f":{EV_STEP_IPC_MILLI}:{int(round(step.ipc * 1000))}"
-                    f":{EV_STEP_PHASE}:{phase_id[step.phase]}",
-                )
-            )
-        for change in tracer.mask_changes():
-            job_appl = appl.get(change.job)
-            if job_appl is None:
-                continue  # job produced no steps; nothing to anchor the event to
-            records.append(
-                (
-                    _us(change.time),
-                    2,
-                    len(records),
-                    f"2:{rank_cpu.get((change.job, change.rank), 1)}"
-                    f":{job_appl}:{change.rank + 1}:1:{_us(change.time)}"
-                    f":{EV_THREAD_COUNT}:{change.new_threads}",
-                )
-            )
-        records.sort(key=lambda r: (r[0], r[1], r[2]))
-
-        lines = [header]
-        # Phase-name table as comments, so the .prv stays self-describing
-        # without a separate .pcf file.
-        for name in phases:
-            lines.append(f"# phase {phase_id[name]} {name}")
-        lines.extend(line for _t, _c, _s, line in records)
-
         root = Path(self.root)
         root.mkdir(parents=True, exist_ok=True)
         path = root / f"{run_stem(run)}.prv"
-        path.write_text("\n".join(lines) + "\n")
+        path.write_text(prv_text(result.tracer))
         return path
 
 
@@ -177,52 +200,25 @@ class JsonlTraceSink:
     root: str | os.PathLike
 
     def write(self, run: RunSpec, result: ScenarioResult) -> Path:
-        lines = [
-            json.dumps(
-                {
-                    "record": "run",
-                    "key": content_key(run),
-                    "run_id": run.run_id,
-                    "scenario": run.scenario,
-                    "workload": result.workload.name,
-                    "end_time": result.end_time,
-                },
-                sort_keys=True,
-            )
-        ]
-        for step in result.tracer:
-            lines.append(
-                json.dumps(
-                    {
-                        "record": "step",
-                        "job": step.job,
-                        "rank": step.rank,
-                        "node": step.node,
-                        "start": step.start,
-                        "duration": step.duration,
-                        "phase": step.phase,
-                        "nthreads": step.nthreads,
-                        "thread_utilisation": list(step.thread_utilisation),
-                        "ipc": step.ipc,
-                        "work_units": step.work_units,
-                    },
-                    sort_keys=True,
-                )
-            )
-        for change in result.tracer.mask_changes():
-            lines.append(
-                json.dumps(
-                    {
-                        "record": "mask_change",
-                        "job": change.job,
-                        "rank": change.rank,
-                        "time": change.time,
-                        "old_threads": change.old_threads,
-                        "new_threads": change.new_threads,
-                    },
-                    sort_keys=True,
-                )
-            )
+        # The grid index lives only in this header field, never in the file
+        # name — the same cell reached from two campaigns overwrites one file.
+        header = {
+            "record": "run",
+            "key": content_key(run),
+            "run_id": run.cell_id,
+            "index": run.index,
+            "scenario": run.scenario,
+            "workload": result.workload.name,
+            "end_time": result.end_time,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(step.to_record(), sort_keys=True) for step in result.tracer
+        )
+        lines.extend(
+            json.dumps(change.to_record(), sort_keys=True)
+            for change in result.tracer.mask_changes()
+        )
         root = Path(self.root)
         root.mkdir(parents=True, exist_ok=True)
         path = root / f"{run_stem(run)}.jsonl"
@@ -240,14 +236,13 @@ def read_jsonl_trace(path: str | os.PathLike) -> tuple[dict, Tracer]:
     tracer = Tracer()
     for line in Path(path).read_text().splitlines():
         record = json.loads(line)
-        kind = record.pop("record")
+        kind = record.get("record")
         if kind == "run":
-            header = record
+            header = {k: v for k, v in record.items() if k != "record"}
         elif kind == "step":
-            record["thread_utilisation"] = tuple(record["thread_utilisation"])
-            tracer.record_step(StepRecord(**record))
+            tracer.record_step(StepRecord.from_record(record))
         elif kind == "mask_change":
-            tracer.record_mask_change(MaskChangeRecord(**record))
+            tracer.record_mask_change(MaskChangeRecord.from_record(record))
         else:
             raise ValueError(f"unknown record type {kind!r} in {path}")
     if header is None:

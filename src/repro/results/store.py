@@ -247,7 +247,7 @@ class ResultStore:
             "version": STORE_FORMAT_VERSION,
             "key": key,
             "run": spec_contents(row.run),
-            "run_id": row.run.run_id.split("|", 1)[1],  # id minus grid index
+            "run_id": row.run.cell_id,
             "metrics": _metrics_to_payload(row),
         }
         self.root.mkdir(parents=True, exist_ok=True)

@@ -100,9 +100,12 @@ class Slurmctld:
 
         Rejected when no placement candidate fits the partition — note the
         narrowest *usable* width can exceed ``min_nodes`` when intermediate
-        counts don't divide ``ntasks`` evenly — or when every usable width
-        needs more CPUs per node than any node has (malleable jobs under
-        DROM only need a CPU per task: co-allocation shrinks their masks).
+        counts don't divide ``ntasks`` evenly — or when the placement logic
+        itself cannot start the job on a **pristine** (fully idle) partition:
+        admission is a dry run of :meth:`_place` against fresh node states,
+        so the predicate can never drift from the placement arms (malleable
+        jobs under DROM only need a CPU per task because the dry run's empty
+        nodes satisfy the co-allocation arm, exactly like the scheduler).
         """
         narrowest = min(spec.placement_candidates())
         if narrowest > self.cluster.nnodes:
@@ -110,26 +113,14 @@ class Slurmctld:
                 f"job {spec.name!r} needs at least {narrowest} "
                 f"node(s) but the partition has only {self.cluster.nnodes}"
             )
-        widest_node = max(node.ncpus for node in self.cluster.nodes)
-
-        def placeable(width: int) -> bool:
-            if width > self.cluster.nnodes:
-                return False
-            if spec.cpus_per_node_on(width) <= widest_node:
-                return True
-            # The task-fit (co-allocation) arm mirrors _select_nodes' DROM
-            # path, which never widens beyond the requested node count.
-            return (
-                self.drom_enabled
-                and spec.malleable
-                and width <= spec.nodes
-                and spec.tasks_on(width) <= widest_node
-            )
-
-        if not any(placeable(width) for width in spec.placement_candidates()):
+        pristine = [
+            NodeState(name=node.name, ncpus=node.ncpus)
+            for node in self.cluster.nodes
+        ]
+        if self._place(spec, pristine) is None:
             raise ValueError(
                 f"job {spec.name!r} can never be placed: every usable width "
-                f"needs more CPUs per node than the partition's {widest_node}"
+                f"needs more CPUs per node than the partition's nodes have"
             )
         job = Job(spec=spec)
         job.mark_submitted(time)
@@ -178,7 +169,17 @@ class Slurmctld:
         return decisions
 
     def _select_nodes(self, job: Job) -> tuple[tuple[str, ...], bool] | None:
-        """Pick nodes for ``job`` or return ``None`` if it cannot start now.
+        """Pick nodes for ``job`` or return ``None`` if it cannot start now."""
+        return self._place(job.spec, self._ordered_nodes())
+
+    def _place(
+        self, spec: JobSpec, ordered_states: list[NodeState]
+    ) -> tuple[tuple[str, ...], bool] | None:
+        """Try to place ``spec`` on the given node states.
+
+        This is the single source of placement truth: scheduling runs it
+        against the live node states (in policy order), and admission dry-runs
+        it against a pristine copy of the partition.
 
         Jobs of different sizes coexist: each candidate node count of the job
         (its requested ``nodes``, widened up to ``max_nodes`` or shrunk down
@@ -188,9 +189,6 @@ class Slurmctld:
         job packs beside the leftovers of a 4-node simulation on a partly-used
         partition.
         """
-        spec = job.spec
-        ordered_states = self._ordered_nodes()
-
         # First preference: exclusive placement on nodes with enough free CPUs
         # (this is all stock SLURM can do).
         for nnodes in spec.placement_candidates():

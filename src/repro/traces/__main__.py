@@ -1,0 +1,184 @@
+"""``python -m repro.traces`` — inspect and maintain a trace store.
+
+Subcommands::
+
+    ls     [--store ROOT]                         list stored traces
+    show   KEY [--store ROOT] [--bin-seconds S]   one trace's timelines
+    export KEY [--store ROOT] [--format prv|jsonl] [--out DIR]
+    gc     [--store ROOT] [filters] [--delete]    collect artifacts
+
+``export`` re-emits one stored cell on demand — a ``.prv``-style trace
+(through the same renderer as the live
+:class:`~repro.results.sinks.ParaverTraceSink`, so the bytes match a
+per-run sink export) or the decompressed JSONL record stream.  File names
+use the content key alone, so re-exports overwrite instead of accumulating.
+``gc`` is a dry run unless ``--delete`` is given; unreadable or old-format
+artifacts are always candidates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import sys
+from pathlib import Path
+
+from repro.experiments.tables import render_table
+from repro.results.sinks import prv_text
+from repro.traces.query import TraceReader
+from repro.traces.store import DEFAULT_TRACE_ROOT, TraceEntry, TraceStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traces",
+        description="Inspect a content-addressed campaign trace store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=str(DEFAULT_TRACE_ROOT),
+                       help=f"trace store root (default {DEFAULT_TRACE_ROOT})")
+
+    ls = sub.add_parser("ls", help="list stored traces")
+    add_store(ls)
+
+    show = sub.add_parser("show", help="show one trace's timelines")
+    show.add_argument("key", help="content key (an unambiguous prefix is enough)")
+    add_store(show)
+    show.add_argument("--bin-seconds", type=float, default=100.0,
+                      help="timeline bin width in seconds (default 100)")
+
+    export = sub.add_parser("export", help="re-emit one stored trace")
+    export.add_argument("key", help="content key (an unambiguous prefix is enough)")
+    add_store(export)
+    export.add_argument("--format", choices=("prv", "jsonl"), default="prv",
+                        help="output format (default prv)")
+    export.add_argument("--out", default=".", metavar="DIR",
+                        help="output directory (default current directory)")
+
+    gc = sub.add_parser("gc", help="collect artifacts (dry run without --delete)")
+    add_store(gc)
+    gc.add_argument("--scenario", default=None,
+                    help="also collect traces of this scenario")
+    gc.add_argument("--workload-contains", default=None, metavar="SUBSTRING",
+                    help="also collect traces whose workload label contains this")
+    gc.add_argument("--all", action="store_true", help="collect every artifact")
+    gc.add_argument("--delete", action="store_true",
+                    help="actually delete (default: dry run)")
+    return parser
+
+
+def render_trace_table(store: TraceStore) -> str:
+    """One row per stored trace, in key order."""
+    entries = list(store.entries())
+    if not entries:
+        return f"(trace store {store.root} is empty)"
+    rows = [
+        (
+            entry.key[:12],
+            entry.header["scenario"],
+            entry.run.workload.label,
+            str(entry.header.get("nsteps", "?")),
+            str(entry.header.get("nmask_changes", "?")),
+            f"{entry.header['end_time']:.3f}",
+            f"{entry.path.stat().st_size / 1024:.1f}",
+        )
+        for entry in entries
+    ]
+    return render_table(
+        ["Key", "Scenario", "Workload", "Steps", "Mask chg", "End (s)", "KiB"],
+        rows,
+    )
+
+
+def render_trace(entry: TraceEntry, bin_seconds: float) -> str:
+    """Header summary plus the per-job width timeline of one trace."""
+    reader = TraceReader(entry)
+    lines = [
+        f"key       {entry.key}",
+        f"run       {entry.header['run_id']}",
+        f"scenario  {entry.header['scenario']}",
+        f"workload  {entry.header['workload']}",
+        f"end time  {entry.header['end_time']:.3f} s",
+        "",
+    ]
+    intervals = reader.job_intervals()
+    if not intervals:
+        lines.append("(no step records)")
+        return "\n".join(lines)
+    lines.append(
+        render_table(
+            ["Job", "First step (s)", "Last end (s)", "Mask chg"],
+            [
+                (
+                    job,
+                    f"{lo:.3f}",
+                    f"{hi:.3f}",
+                    str(len(reader.mask_change_sequence(job))),
+                )
+                for job, (lo, hi) in intervals.items()
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(reader.render_job_widths(bin_seconds=bin_seconds))
+    return "\n".join(lines)
+
+
+def _gc_predicate(args: argparse.Namespace):
+    if args.all:
+        return lambda entry: True
+    if args.scenario is None and args.workload_contains is None:
+        return None  # only unreadable/old-format artifacts
+    def predicate(entry: TraceEntry) -> bool:
+        if args.scenario is not None and entry.header["scenario"] != args.scenario:
+            return False
+        if (
+            args.workload_contains is not None
+            and args.workload_contains not in entry.run.workload.label
+        ):
+            return False
+        return True
+    return predicate
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = TraceStore(args.store)
+    if args.command == "ls":
+        print(f"trace store {store.root}: {len(store)} trace(s)")
+        print(render_trace_table(store))
+        return 0
+    if args.command in ("show", "export"):
+        try:
+            entry = store.load(args.key)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        if args.command == "show":
+            print(render_trace(entry, args.bin_seconds))
+            return 0
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        stem = f"{entry.header['scenario']}-{entry.key[:12]}"
+        if args.format == "prv":
+            path = out / f"{stem}.prv"
+            path.write_text(prv_text(entry.tracer))
+        else:
+            path = out / f"{stem}.jsonl"
+            path.write_bytes(gzip.decompress(entry.path.read_bytes()))
+        print(f"exported {entry.key[:12]} -> {path}")
+        return 0
+    if args.command == "gc":
+        removed = store.gc(_gc_predicate(args), dry_run=not args.delete)
+        verb = "removed" if args.delete else "would remove"
+        print(f"gc {store.root}: {verb} {len(removed)} trace(s)")
+        for key in removed:
+            print(f"  {key[:12]}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""Content-addressed persistence for full execution traces.
+
+The metrics tier (:class:`~repro.results.store.ResultStore`) memoises the
+compact :class:`~repro.campaign.runner.RunMetrics` row of every campaign
+cell; this module adds the second tier the trace-derived figures (3, 5, 13,
+14) need: every executed run's full :class:`~repro.metrics.tracing.Tracer`
+persists as one gzip-compressed JSONL artifact keyed by the **same**
+:func:`~repro.results.store.content_key` as the metrics entry.  The two
+tiers thus address the same cell by the same hash — a key found in both
+means "this simulation's reporting is fully reconstructable without
+re-simulating".
+
+Artifact layout: one ``<key>.jsonl.gz`` file per cell.  The first line is a
+versioned run header (spec contents, scenario, workload name, end time,
+cycles/µs calibration); every following line is one step or mask-change
+record in recording order, using exactly the JSONL-sink schema
+(:meth:`~repro.metrics.tracing.StepRecord.to_record`).  Floats serialise via
+``repr`` and gzip is written with a zeroed mtime, so the same tracer always
+produces byte-identical artifacts — re-puts are idempotent, and shard stores
+merge by plain file union like the metrics tier.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.campaign.spec import RunSpec
+from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.results.store import content_key, spec_contents, spec_from_contents
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.workload.runner import ScenarioResult
+
+#: Default persistent location, a sibling of the metrics tier's
+#: ``benchmarks/results/store/`` (both are gitignored).
+DEFAULT_TRACE_ROOT = Path("benchmarks") / "results" / "traces"
+
+#: Bumped whenever the artifact layout or the content-hash inputs change;
+#: old artifacts are then cache misses and ``gc`` collects them.  The hash
+#: inputs are shared with the metrics tier, so a metrics schema bump that
+#: changes :func:`~repro.results.store.spec_contents` must bump this too.
+#:
+#: Version history:
+#:
+#: * 1 — initial layout (header + step/mask-change records, gzip JSONL).
+TRACE_FORMAT_VERSION = 1
+
+_SUFFIX = ".jsonl.gz"
+
+#: Everything a read of a missing/corrupt/stale artifact can raise, and that
+#: must therefore read as a *miss* rather than abort a campaign: filesystem
+#: errors (``gzip.BadGzipFile`` is an ``OSError``), malformed JSON/headers,
+#: and truncated or bit-rotted compressed streams (``EOFError`` /
+#: ``zlib.error`` — e.g. an interrupted copy of a shard store).
+_READ_ERRORS = (OSError, ValueError, KeyError, EOFError, zlib.error)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One stored trace: its key, validated header, and a lazy tracer.
+
+    The header (one JSON line) is read eagerly for listing and version
+    checks; the full record stream is only decompressed and parsed when
+    :attr:`tracer` is first touched — ``ls`` over a thousand-cell store
+    never inflates a single trace body.
+    """
+
+    key: str
+    path: Path
+    header: dict
+
+    @property
+    def contents(self) -> dict:
+        """The canonical spec contents the artifact was keyed by."""
+        return self.header["run"]
+
+    @property
+    def run(self) -> RunSpec:
+        return spec_from_contents(self.contents)
+
+    @cached_property
+    def tracer(self) -> Tracer:
+        """The full tracer, parsed from the compressed record stream."""
+        tracer = Tracer(cycles_per_us=self.header.get("cycles_per_us", 2600.0))
+        with gzip.open(self.path, "rt", encoding="utf-8") as stream:
+            next(stream)  # the header line, already parsed
+            for line in stream:
+                record = json.loads(line)
+                kind = record.get("record")
+                if kind == "step":
+                    tracer.record_step(StepRecord.from_record(record))
+                elif kind == "mask_change":
+                    tracer.record_mask_change(MaskChangeRecord.from_record(record))
+                else:
+                    raise ValueError(
+                        f"unknown record type {kind!r} in {self.path}"
+                    )
+        return tracer
+
+
+class TraceStore:
+    """Content-addressed, mergeable store of full run traces.
+
+    Mirrors :class:`~repro.results.store.ResultStore`'s contract: entries
+    are pure functions of their key's spec, reads never abort a campaign
+    (a bad artifact is a miss), writes are atomic, and :meth:`merge` is the
+    cross-host sharding union.
+    """
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_TRACE_ROOT) -> None:
+        self.root = Path(root)
+
+    # -- addressing --------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.name[: -len(_SUFFIX)] for path in self.root.glob(f"*{_SUFFIX}")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, run: RunSpec) -> bool:
+        """Whether ``run``'s cell holds a readable, current-format trace."""
+        try:
+            self._read_header(self.path_for(content_key(run)))
+        except _READ_ERRORS:
+            return False
+        return True
+
+    # -- read/write --------------------------------------------------------------
+
+    @staticmethod
+    def _read_header(path: Path) -> dict:
+        """Parse and validate the artifact's header line (cheap: the gzip
+        stream is only inflated up to the first newline)."""
+        with gzip.open(path, "rt", encoding="utf-8") as stream:
+            header = json.loads(stream.readline())
+        if not isinstance(header, dict) or header.get("record") != "run":
+            raise ValueError(f"{path} has no run header record")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"trace {path.name} has format {header.get('version')!r}, "
+                f"expected {TRACE_FORMAT_VERSION}"
+            )
+        return header
+
+    def get(self, run: RunSpec) -> TraceEntry | None:
+        """The stored trace of ``run``'s cell, or ``None`` on a miss
+        (including unreadable, old-format or otherwise malformed artifacts —
+        a bad cache entry must mean "re-simulate", never abort)."""
+        path = self.path_for(content_key(run))
+        try:
+            header = self._read_header(path)
+        except _READ_ERRORS:
+            return None
+        return TraceEntry(key=content_key(run), path=path, header=header)
+
+    def put(self, run: RunSpec, result: "ScenarioResult") -> Path:
+        """Persist one executed run's full trace under its content key.
+
+        Idempotent overwrite: the serialisation is deterministic (stable
+        record order, sorted JSON keys, gzip mtime pinned to 0), so re-puts
+        of the same cell write byte-identical artifacts.
+        """
+        key = content_key(run)
+        tracer = result.tracer
+        header = {
+            "record": "run",
+            "version": TRACE_FORMAT_VERSION,
+            "key": key,
+            "run": spec_contents(run),
+            "run_id": run.cell_id,
+            "scenario": run.scenario,
+            "workload": result.workload.name,
+            "end_time": result.end_time,
+            "cycles_per_us": tracer.cycles_per_us,
+            "nsteps": len(tracer),
+            "nmask_changes": len(tracer.mask_changes()),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(step.to_record(), sort_keys=True) for step in tracer)
+        lines.extend(
+            json.dumps(change.to_record(), sort_keys=True)
+            for change in tracer.mask_changes()
+        )
+        buffer = io.BytesIO()
+        # mtime=0: gzip embeds a timestamp by default, which would make two
+        # exports of the same trace differ byte-wise and break merge dedupe.
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as stream:
+            stream.write(("\n".join(lines) + "\n").encode("utf-8"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        # Unique temp name + atomic rename: concurrent writers of the same
+        # cell (pool workers, campaign shards) cannot interleave bytes.
+        tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        tmp.write_bytes(buffer.getvalue())
+        tmp.replace(path)
+        return path
+
+    def load(self, key: str) -> TraceEntry:
+        """Read one entry by (possibly abbreviated, unambiguous) key."""
+        matches = [k for k in self.keys() if k.startswith(key)]
+        if not matches:
+            raise KeyError(f"no trace with key {key!r} in {self.root}")
+        if len(matches) > 1:
+            raise KeyError(f"key {key!r} is ambiguous ({len(matches)} matches)")
+        path = self.path_for(matches[0])
+        return TraceEntry(key=matches[0], path=path, header=self._read_header(path))
+
+    def entries(self) -> Iterator[TraceEntry]:
+        """All live entries, sorted by key (corrupt or old-format artifacts
+        are skipped — same visibility rule as :meth:`get`)."""
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                header = self._read_header(path)
+            except _READ_ERRORS:
+                continue
+            yield TraceEntry(key=key, path=path, header=header)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def remove(self, key: str) -> None:
+        self.path_for(key).unlink(missing_ok=True)
+
+    def gc(self, predicate=None, dry_run: bool = False) -> list[str]:
+        """Collect artifacts: unreadable/old-format files always, plus any
+        whose :class:`TraceEntry` satisfies ``predicate``.  Returns the
+        removed keys."""
+        doomed: list[str] = []
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                header = self._read_header(path)
+            except _READ_ERRORS:
+                doomed.append(key)
+                continue
+            if predicate is not None and predicate(
+                TraceEntry(key=key, path=path, header=header)
+            ):
+                doomed.append(key)
+        if not dry_run:
+            for key in doomed:
+                self.remove(key)
+        return doomed
+
+    def merge(self, other: "TraceStore", overwrite: bool = False) -> int:
+        """Union another trace store's artifacts into this one — the
+        campaign-sharding transport, shipping traces alongside the metrics
+        tier's :meth:`~repro.results.store.ResultStore.merge`.
+
+        Returns the number of artifacts copied.  Same rules as the metrics
+        tier: local current-format entries win unless ``overwrite``, stale or
+        unreadable source artifacts are never imported, and a stale local
+        file never shadows a current incoming one.
+        """
+        copied = 0
+        for key in other.keys():
+            target = self.path_for(key)
+            if not overwrite:
+                try:
+                    self._read_header(target)
+                    continue  # current local entry wins
+                except _READ_ERRORS:
+                    pass  # absent, stale or unreadable: the incoming one wins
+            source = other.path_for(key)
+            try:
+                other._read_header(source)
+                data = source.read_bytes()
+            except _READ_ERRORS:
+                continue
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.root / f".{key}.{os.getpid()}.tmp"
+            tmp.write_bytes(data)
+            tmp.replace(target)
+            copied += 1
+        return copied

@@ -83,7 +83,15 @@ class JobExecution:
 
 @dataclass
 class ScenarioResult:
-    """Everything one scenario run produces."""
+    """Everything one scenario run produces.
+
+    ``replayed`` distinguishes a live execution from a
+    :class:`~repro.traces.query.ScenarioReplay` served by the store tiers
+    (which mirrors this reporting interface and marks itself ``True``).
+    """
+
+    #: Class-level marker, not a field: every live result really executed.
+    replayed = False
 
     scenario: str
     workload: Workload

@@ -294,6 +294,36 @@ class TestHeterogeneousScheduling:
                 spec(nodes=2, ntasks=32, cpt=2, max_nodes=4), time=0.0
             )
 
+    def test_admission_is_in_lockstep_with_placement(self):
+        """Admission is a dry run of the placement logic against a pristine
+        partition, so for any spec: admitted on an idle cluster iff the very
+        first scheduling pass can start it."""
+        candidates = [
+            dict(nodes=2, ntasks=2, cpt=16),
+            dict(nodes=2, ntasks=2, cpt=32),                     # CPU overflow
+            dict(nodes=4, ntasks=4, cpt=16, min_nodes=1),        # shrinkable
+            dict(nodes=4, ntasks=4, cpt=16, min_nodes=1, malleable=False),
+            dict(nodes=2, ntasks=32, cpt=2, max_nodes=4),        # widened task-fit
+            dict(nodes=1, ntasks=16, cpt=1),
+            dict(nodes=2, ntasks=6, cpt=4, min_nodes=1),         # 6 % 2 == 0 only
+        ]
+        for drom_enabled in (False, True):
+            for i, kwargs in enumerate(candidates):
+                ctld = Slurmctld(
+                    ClusterTopology.uniform(4, sockets=1, cores_per_socket=8),
+                    drom_enabled=drom_enabled,
+                )
+                job_spec = spec(name=f"probe{i}", **kwargs)
+                try:
+                    job = ctld.submit(job_spec, time=0.0)
+                except ValueError:
+                    continue  # rejected: nothing to start, lockstep holds
+                decisions = ctld.schedule(0.0)
+                assert [d.job.job_id for d in decisions] == [job.job_id], (
+                    f"admitted but unplaceable on an idle partition: "
+                    f"{job_spec} (drom={drom_enabled})"
+                )
+
 
 def small_app(factory, config, total_work, iterations=8):
     return factory(config, total_work=total_work, iterations=iterations)

@@ -60,6 +60,27 @@ class TestJsonlSink:
         assert sink.write(run, result).read_text() == first
         assert len(list(tmp_path.glob("*.jsonl"))) == 1
 
+    def test_same_cell_from_two_campaigns_writes_one_file(self, traced_run, tmp_path):
+        # Regression: run_stem used to embed the grid index, so the same
+        # cell reached from two campaigns accumulated duplicate files,
+        # contradicting the content-addressing contract.  The index now
+        # survives only as a JSON header field.
+        import dataclasses
+        import json
+
+        run, result = traced_run
+        moved = dataclasses.replace(run, index=17)
+        assert content_key(moved) == content_key(run)
+        assert run_stem(moved) == run_stem(run)
+        sink = JsonlTraceSink(tmp_path)
+        sink.write(run, result)
+        path = sink.write(moved, result)
+        assert len(list(tmp_path.glob("*.jsonl"))) == 1
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["index"] == 17
+        # The sidecar run id carries no grid index (it is shared by design).
+        assert not header["run_id"].split("|", 1)[0].isdigit()
+
     def test_header_required(self, tmp_path):
         bad = tmp_path / "x.jsonl"
         step = {
