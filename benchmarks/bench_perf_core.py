@@ -1,0 +1,196 @@
+"""Perf-core gate: the batched fast path vs the single-step reference.
+
+The fast-core refactor batches step advancement through the engine, the
+runner, the tracer and the stats modules.  This harness is its gate: a
+pinned cold sweep over the paper's scenario families runs every cell twice —
+once with ``ScenarioRunner(batching=False)`` (the original single-step
+reference loop, kept verbatim) and once with the batched default — and
+
+* asserts **byte identity** per cell: equal :class:`RunMetrics` rows, equal
+  stored metrics-tier JSON bytes under the same content key, and equal
+  trace-tier gzip artifact bytes under the same content key;
+* measures wall-clock, steps/sec and events/sec per cell and writes the
+  whole report to ``BENCH_core.json``;
+* asserts the **aggregate cold-sweep speedup is >= 5x**.
+
+Run standalone (the tier-1 suite does not collect ``benchmarks/``)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py [--out BENCH_core.json]
+
+or through pytest alongside the figure benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_core.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign.runner import execute_run, summarise_run
+from repro.campaign.spec import (
+    HighPriorityWorkloadRef,
+    InSituWorkloadRef,
+    RunSpec,
+    SyntheticWorkloadRef,
+)
+from repro.results.store import ResultStore
+from repro.traces.store import TraceStore
+from repro.workload.generator import WorkloadSpec
+from repro.workload.runner import DROM, SERIAL
+
+SPEEDUP_GATE = 5.0
+
+#: The pinned cold-sweep grid: one representative cell per scenario family,
+#: each expanded to a Serial and a DROM run.  Everything is seeded/derived —
+#: two invocations of the harness execute bit-for-bit identical simulations.
+FAMILIES = {
+    "insitu": dict(workload=InSituWorkloadRef()),
+    "heterogeneous": dict(workload=InSituWorkloadRef(analytics_nodes=1)),
+    "high-priority": dict(workload=HighPriorityWorkloadRef()),
+    "interference": dict(workload=InSituWorkloadRef(), interference_factor=1.3),
+    "synthetic": dict(
+        workload=SyntheticWorkloadRef(
+            spec=WorkloadSpec(njobs=6, iterations=2000, work_scale=0.3),
+            seed=3,
+        )
+    ),
+}
+
+
+def _timed(run: RunSpec, batching: bool) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    result = execute_run(run, trace=True, batching=batching)
+    return time.perf_counter() - t0, result
+
+
+def run_cell(family: str, run: RunSpec, work_dir: Path) -> dict:
+    """Execute one grid cell both ways, check byte identity, report timings."""
+    ref_seconds, reference = _timed(run, batching=False)
+    fast_seconds, batched = _timed(run, batching=True)
+
+    row_ref = summarise_run(run, reference)
+    row_fast = summarise_run(run, batched)
+    assert row_ref == row_fast, f"{family}/{run.scenario}: RunMetrics diverged"
+
+    cell_dir = work_dir / f"{family}-{run.scenario}"
+    metrics_ref = ResultStore(cell_dir / "metrics-ref").put(row_ref)
+    metrics_fast = ResultStore(cell_dir / "metrics-fast").put(row_fast)
+    assert metrics_ref.name == metrics_fast.name
+    assert metrics_ref.read_bytes() == metrics_fast.read_bytes(), (
+        f"{family}/{run.scenario}: metrics-tier bytes diverged"
+    )
+    trace_ref = TraceStore(cell_dir / "traces-ref").put(run, reference)
+    trace_fast = TraceStore(cell_dir / "traces-fast").put(run, batched)
+    assert trace_ref.name == trace_fast.name
+    assert trace_ref.read_bytes() == trace_fast.read_bytes(), (
+        f"{family}/{run.scenario}: trace-tier bytes diverged"
+    )
+
+    steps = len(batched.tracer)
+    events = batched.events_executed
+    return {
+        "family": family,
+        "scenario": run.scenario,
+        "reference_seconds": ref_seconds,
+        "batched_seconds": fast_seconds,
+        "speedup": ref_seconds / fast_seconds if fast_seconds > 0 else float("inf"),
+        "steps": steps,
+        "steps_per_sec": steps / fast_seconds if fast_seconds > 0 else float("inf"),
+        "events": events,
+        "events_per_sec": events / fast_seconds if fast_seconds > 0 else float("inf"),
+        "reference_events": reference.events_executed,
+        "byte_identical": True,
+    }
+
+
+def run_harness(out: Path) -> dict:
+    """Run the full gate, write ``out`` and return the report dict."""
+    cells = []
+    with tempfile.TemporaryDirectory(prefix="bench-perf-core-") as tmp:
+        work_dir = Path(tmp)
+        for family, kwargs in FAMILIES.items():
+            for scenario in (SERIAL, DROM):
+                run = RunSpec(index=0, scenario=scenario, **kwargs)
+                cell = run_cell(family, run, work_dir)
+                cells.append(cell)
+                print(
+                    f"  {family:>14}/{scenario:<6} "
+                    f"ref {cell['reference_seconds']:7.3f}s  "
+                    f"batched {cell['batched_seconds']:7.3f}s  "
+                    f"{cell['speedup']:5.1f}x  "
+                    f"{cell['steps_per_sec']:>9.0f} steps/s  "
+                    f"{cell['events_per_sec']:>8.0f} events/s"
+                )
+    ref_total = sum(c["reference_seconds"] for c in cells)
+    fast_total = sum(c["batched_seconds"] for c in cells)
+    aggregate = ref_total / fast_total if fast_total > 0 else float("inf")
+    report = {
+        "gate": {"minimum_speedup": SPEEDUP_GATE, "passed": aggregate >= SPEEDUP_GATE},
+        "aggregate": {
+            "reference_seconds": ref_total,
+            "batched_seconds": fast_total,
+            "speedup": aggregate,
+            "cells": len(cells),
+            "byte_identical": all(c["byte_identical"] for c in cells),
+        },
+        "cells": cells,
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\ncold sweep: {ref_total:.3f}s reference vs {fast_total:.3f}s batched "
+        f"-> {aggregate:.1f}x aggregate speedup over {len(cells)} byte-identical "
+        f"cells (gate: >= {SPEEDUP_GATE:.0f}x) -> {out}"
+    )
+    return report
+
+
+def test_perf_core_gate(report):
+    """Pytest entry point: same gate, report lands in benchmarks/results."""
+    results = run_harness(Path(__file__).parent / "results" / "BENCH_core.json")
+    assert results["aggregate"]["byte_identical"]
+    assert results["aggregate"]["speedup"] >= SPEEDUP_GATE
+    lines = [
+        f"{c['family']}/{c['scenario']}: {c['speedup']:.1f}x, "
+        f"{c['steps_per_sec']:.0f} steps/s, {c['events_per_sec']:.0f} events/s"
+        for c in results["cells"]
+    ]
+    report(
+        "perf_core",
+        f"aggregate speedup {results['aggregate']['speedup']:.1f}x "
+        f"(gate >= {SPEEDUP_GATE:.0f}x), all cells byte-identical\n"
+        + "\n".join(lines),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched-vs-reference perf gate with byte-identity checks."
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_core.json"),
+        help="where to write the JSON report (default ./BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_harness(args.out)
+    if not report["gate"]["passed"]:
+        print(
+            f"FAIL: aggregate speedup {report['aggregate']['speedup']:.2f}x "
+            f"is below the {SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,26 @@ class RankWorkPlan:
         self.completed_work += step.work_units
         return step
 
+    def advance_many(self, count: int) -> None:
+        """Advance ``count`` steps in one call (the batched fast path).
+
+        ``completed_work`` accumulates step by step, in the same order as
+        ``count`` individual :meth:`advance` calls — float addition is not
+        associative, so summing first would drift from the single-step path.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.next_step + count > len(self.steps):
+            raise IndexError(
+                f"rank {self.rank} has {self.remaining_steps} steps left, "
+                f"cannot advance {count}"
+            )
+        completed = self.completed_work
+        for step in self.steps[self.next_step : self.next_step + count]:
+            completed += step.work_units
+        self.completed_work = completed
+        self.next_step += count
+
 
 @dataclass(frozen=True)
 class ApplicationModel:
@@ -126,7 +146,11 @@ class ApplicationModel:
             nsteps = self.steps_for_phase(phase)
             phase_work = work_per_rank * phase.work_fraction
             per_step = phase_work / nsteps
-            steps.extend(WorkStep(phase=phase, work_units=per_step) for _ in range(nsteps))
+            # Every step of a phase is identical, and WorkStep is immutable:
+            # share one instance across the phase instead of building nsteps
+            # of them (plans are rebuilt per run, so this is hot), which also
+            # lets the segment scans below detect uniform runs by identity.
+            steps.extend([WorkStep(phase=phase, work_units=per_step)] * nsteps)
         return RankWorkPlan(
             rank=rank, steps=steps, initial_threads=config.threads_per_rank
         )
@@ -156,16 +180,100 @@ class ApplicationModel:
             interference=interference,
         )
 
+    def steps_until_change(self, plan: RankWorkPlan) -> int:
+        """Number of upcoming steps whose timing inputs are all identical.
+
+        Counts the run of steps from the plan's cursor that share the current
+        step's phase and per-step work units: under a fixed mask every step of
+        such a segment has the same duration and IPC, so a batch can price the
+        whole segment with one :meth:`step_time` call.  Returns 0 on a
+        finished plan.
+        """
+        steps = plan.steps
+        i = plan.next_step
+        end = len(steps)
+        if i >= end:
+            return 0
+        head = steps[i]
+        j = i + 1
+        while j < end and (
+            steps[j] is head
+            or (steps[j].phase is head.phase and steps[j].work_units == head.work_units)
+        ):
+            j += 1
+        return j - i
+
+    def step_times(
+        self,
+        plan: RankWorkPlan,
+        count: int,
+        mask: CpuSet,
+        topology: NodeTopology,
+        total_ranks: int,
+        interference: float = 1.0,
+    ) -> list[float]:
+        """Durations of the plan's next ``count`` steps under a fixed mask.
+
+        Vectorized over uniform segments: one :meth:`PerformanceProfile
+        .iteration_time` evaluation per (phase, work-units) run instead of one
+        per step, replicated across the run — each returned float is exactly
+        what a per-step :meth:`step_time` call would have produced.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > plan.remaining_steps:
+            raise IndexError(
+                f"rank {plan.rank} has {plan.remaining_steps} steps left, "
+                f"cannot price {count}"
+            )
+        steps = plan.steps
+        out: list[float] = []
+        i = plan.next_step
+        end = i + count
+        while i < end:
+            head = steps[i]
+            j = i + 1
+            while j < end and (
+                steps[j] is head
+                or (steps[j].phase is head.phase and steps[j].work_units == head.work_units)
+            ):
+                j += 1
+            duration = self.profile.iteration_time(
+                phase=head.phase,
+                work_units=head.work_units,
+                mask=mask,
+                topology=topology,
+                initial_threads=plan.initial_threads,
+                total_ranks=total_ranks,
+                interference=interference,
+            )
+            out.extend([duration] * (j - i))
+            i = j
+        return out
+
     def step_ipc(
         self, plan: RankWorkPlan, mask: CpuSet, topology: NodeTopology
     ) -> float:
         """Average per-thread IPC during the rank's next step."""
         step = plan.current_step()
+        return self.step_ipc_for_phase(
+            step.phase, mask, topology, plan.initial_threads
+        )
+
+    def step_ipc_for_phase(
+        self,
+        phase: PhaseProfile,
+        mask: CpuSet,
+        topology: NodeTopology,
+        initial_threads: int,
+    ) -> float:
+        """IPC of any step of ``phase`` under ``mask`` (phase-constant, so a
+        batch prices it once per phase instead of once per step)."""
         return self.profile.ipc(
-            phase=step.phase,
+            phase=phase,
             mask=mask,
             topology=topology,
-            initial_threads=plan.initial_threads,
+            initial_threads=initial_threads,
         )
 
     # -- reference timings ------------------------------------------------------------------

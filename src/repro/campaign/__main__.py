@@ -71,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "persists its full trace under the same content "
                             "key; with --store, a run only skips execution "
                             "when both tiers hit (created if missing)")
+    sweep.add_argument("--profile", default=None, metavar="OUT.pstats",
+                       help="profile the sweep with cProfile: forces the "
+                            "in-process executor (--workers is ignored), "
+                            "writes the stats to the given path and prints "
+                            "the top 20 functions by cumulative time")
     sweep.add_argument("--shard", default=None, metavar="K/N",
                        help="run only shard K of N (1-based): the workload "
                             "axis is dealt round-robin over N balanced shard "
@@ -237,9 +242,29 @@ def main(argv: list[str] | None = None) -> int:
         from repro.traces.store import TraceStore
 
         trace_store = TraceStore(args.trace_store)
-    result = run_campaign(
-        spec, workers=args.workers, store=store, trace_store=trace_store
-    )
+    if args.profile is not None:
+        # Profile the serial executor: a worker pool would hide the hot path
+        # in child processes, so the sweep runs in-process under cProfile.
+        import cProfile
+        import pstats
+
+        if args.workers != 1:
+            print("--profile forces the in-process executor; ignoring --workers")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = run_campaign(
+                spec, workers=1, store=store, trace_store=trace_store
+            )
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}; top 20 by cumulative time:")
+        pstats.Stats(profiler).strip_dirs().sort_stats("cumulative").print_stats(20)
+    else:
+        result = run_campaign(
+            spec, workers=args.workers, store=store, trace_store=trace_store
+        )
     print(result.to_table())
     if store is not None:
         print(

@@ -34,8 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.traces.store import TraceStore
 
 
-def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
-    """Execute one campaign run and return the full scenario result."""
+def execute_run(
+    run: RunSpec, trace: bool = False, batching: bool = True
+) -> ScenarioResult:
+    """Execute one campaign run and return the full scenario result.
+
+    ``batching=False`` runs the single-step reference loop instead of the
+    batched fast path; results are byte-identical either way (the
+    ``bench_perf_core`` harness gates on it), so the flag is deliberately
+    *not* part of :class:`RunSpec` or the content hash.
+    """
     workload = run.workload.build()
     interference = None
     if run.interference_factor is not None:
@@ -51,6 +59,7 @@ def execute_run(run: RunSpec, trace: bool = False) -> ScenarioResult:
         interference=interference,
         backfill=run.scheduler.backfill,
         node_policy=run.scheduler.node_policy,
+        batching=batching,
     )
     return runner.run(workload, trace=trace)
 

@@ -100,6 +100,36 @@ class StatsModule:
             stats.idle_time += idle_time
             return stats
 
+    def record_compute_batch(
+        self, pid: int, intervals: "list[tuple[float, float, int, float]]"
+    ) -> ProcessStats:
+        """Account a whole batch of execution intervals in one call.
+
+        Each entry is ``(useful_time, idle_time, ncpus, seconds)`` — one
+        step's compute accounting plus its CPU-ownership integral.  The
+        accumulators advance entry by entry, in order, exactly as the same
+        sequence of :meth:`record_compute` + :meth:`record_ownership` calls
+        would (float addition is order-sensitive), but with one lock acquire
+        and one registry lookup for the whole batch.
+        """
+        with self._lock:
+            stats = self._require(pid)
+            useful = stats.useful_time
+            idle = stats.idle_time
+            owned = stats.cpu_seconds_owned
+            for useful_time, idle_time, ncpus, seconds in intervals:
+                if useful_time < 0 or idle_time < 0:
+                    raise ValueError("times must be non-negative")
+                if ncpus < 0 or seconds < 0:
+                    raise ValueError("ncpus and seconds must be non-negative")
+                useful += useful_time
+                idle += idle_time
+                owned += ncpus * seconds
+            stats.useful_time = useful
+            stats.idle_time = idle
+            stats.cpu_seconds_owned = owned
+            return stats
+
     def record_mpi(self, pid: int, mpi_time: float) -> ProcessStats:
         """Add time spent inside MPI calls."""
         if mpi_time < 0:

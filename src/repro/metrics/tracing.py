@@ -10,16 +10,20 @@ it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, NamedTuple
 
 from repro.metrics.counters import CounterLog, CounterSample
 from repro.sim.events import EventLog
 
 
-@dataclass(frozen=True)
-class StepRecord:
-    """One execution step of one rank."""
+class StepRecord(NamedTuple):
+    """One execution step of one rank.
+
+    A ``NamedTuple`` rather than a dataclass: the runner constructs one of
+    these per rank per step on the simulation hot path, and tuple
+    construction is several times cheaper than a frozen dataclass ``__init__``
+    while keeping the record immutable, hashable and field-comparable.
+    """
 
     job: str
     rank: int
@@ -64,8 +68,7 @@ class StepRecord:
         return cls(**payload)
 
 
-@dataclass(frozen=True)
-class MaskChangeRecord:
+class MaskChangeRecord(NamedTuple):
     """A DROM mask change observed by a rank."""
 
     job: str
@@ -90,11 +93,23 @@ class MaskChangeRecord:
         return cls(**{k: v for k, v in record.items() if k != "record"})
 
 
+#: Canonical presentation order of step records: by start instant, then job
+#: label, then rank.  Recording order is an artifact of event interleaving —
+#: a job that batches k steps appends them at its wake, a single-stepping job
+#: appends one record per wake — so every view (queries, figure renderings,
+#: sink and store serialisations) reads through this order instead, making
+#: batched and unbatched executions of the same scenario indistinguishable.
+def _step_order(step: StepRecord) -> tuple[float, str, int]:
+    return (step.start, step.job, step.rank)
+
+
 class Tracer:
     """Collects step and mask-change records for a whole scenario run."""
 
     def __init__(self, cycles_per_us: float = 2600.0) -> None:
         self._steps: list[StepRecord] = []
+        #: Lazily sorted canonical view of ``_steps`` (None = dirty).
+        self._ordered_steps: list[StepRecord] | None = []
         self._mask_changes: list[MaskChangeRecord] = []
         self._cycles_per_us = cycles_per_us
         self.events = EventLog()
@@ -109,14 +124,30 @@ class Tracer:
 
     def record_step(self, record: StepRecord) -> None:
         self._steps.append(record)
+        self._ordered_steps = None
+
+    def record_steps(self, records: Iterable[StepRecord]) -> None:
+        """Append a whole batch of step records in one call.
+
+        The batched runner hands over one list per (job, batch); the
+        canonical order presented by the queries is unaffected by how the
+        records were chunked.
+        """
+        self._steps.extend(records)
+        self._ordered_steps = None
 
     def record_mask_change(self, record: MaskChangeRecord) -> None:
         self._mask_changes.append(record)
 
     # -- queries ------------------------------------------------------------------
 
+    def _ordered(self) -> list[StepRecord]:
+        if self._ordered_steps is None:
+            self._ordered_steps = sorted(self._steps, key=_step_order)
+        return self._ordered_steps
+
     def steps(self, job: str | None = None, rank: int | None = None) -> list[StepRecord]:
-        out = self._steps
+        out = self._ordered()
         if job is not None:
             out = [s for s in out if s.job == job]
         if rank is not None:
@@ -130,7 +161,7 @@ class Tracer:
 
     def jobs(self) -> list[str]:
         seen: list[str] = []
-        for step in self._steps:
+        for step in self._ordered():
             if step.job not in seen:
                 seen.append(step.job)
         return seen
@@ -146,7 +177,7 @@ class Tracer:
         return len(self._steps)
 
     def __iter__(self) -> Iterator[StepRecord]:
-        return iter(self._steps)
+        return iter(self._ordered())
 
     # -- derived views ----------------------------------------------------------------
 
@@ -171,7 +202,7 @@ class Tracer:
     def counter_log(self) -> CounterLog:
         """Expand step records into per-thread counter samples (Figures 13/14)."""
         log = CounterLog()
-        for step in self._steps:
+        for step in self._ordered():
             for thread, util in enumerate(step.thread_utilisation):
                 log.record(
                     CounterSample(
@@ -189,4 +220,5 @@ class Tracer:
     def merge(self, other: "Tracer") -> None:
         """Absorb another tracer's records (used when scenarios are composed)."""
         self._steps.extend(other._steps)
+        self._ordered_steps = None
         self._mask_changes.extend(other._mask_changes)

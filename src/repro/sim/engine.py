@@ -26,7 +26,7 @@ class SimulationError(RuntimeError):
     """Raised for invalid interactions with the engine (e.g. time travel)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout:
     """Yielded by a process to sleep for ``delay`` simulated seconds."""
 
@@ -35,6 +35,20 @@ class Timeout:
     def __post_init__(self) -> None:
         if self.delay < 0:
             raise ValueError("Timeout delay must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class WakeAt:
+    """Yielded by a process to sleep until an *absolute* simulated instant.
+
+    Unlike :class:`Timeout` (which wakes at ``now + delay``, a float
+    addition), a :class:`WakeAt` wake lands at exactly ``time`` — the batched
+    fast path uses it to wake at a left-fold-accumulated step boundary with
+    no re-rounding, so batched and single-step runs hit bit-identical
+    instants.  A time at or before ``now`` wakes at ``now``.
+    """
+
+    time: float
 
 
 class ProcessExit(Exception):
@@ -62,7 +76,25 @@ class SimProcess:
         passed to :meth:`kill`.
     """
 
-    def __init__(self, engine: "SimulationEngine", name: str, gen: ProcessGenerator) -> None:
+    __slots__ = (
+        "_engine",
+        "name",
+        "_gen",
+        "finished",
+        "value",
+        "started_at",
+        "finished_at",
+        "priority",
+        "_waiters",
+    )
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        name: str,
+        gen: ProcessGenerator,
+        priority: int = 0,
+    ) -> None:
         self._engine = engine
         self.name = name
         self._gen = gen
@@ -70,6 +102,12 @@ class SimProcess:
         self.value: Any = None
         self.started_at = engine.now
         self.finished_at: float | None = None
+        #: Tie-break priority of every wake event of this process.  Processes
+        #: with distinct priorities interleave deterministically at equal
+        #: instants regardless of *when* their wakes were pushed — which is
+        #: what makes the batched and single-step execution paths order
+        #: same-time wakes identically.
+        self.priority = priority
         self._waiters: list[Callable[[Any], None]] = []
 
     def __repr__(self) -> str:
@@ -122,10 +160,15 @@ class SimulationEngine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        # Entries are (time, priority, seq, callback, args): storing the
+        # callable and its arguments directly (instead of a per-call lambda
+        # closure) keeps the hot path allocation-light.  ``seq`` is unique,
+        # so comparisons never reach the callback.
+        self._queue: list[tuple[float, int, int, Callable[..., Any], tuple]] = []
         self._seq = 0
         self._processes: list[SimProcess] = []
         self._running = False
+        self._executed = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -146,7 +189,7 @@ class SimulationEngine:
             )
         heapq.heappush(
             self._queue,
-            (max(time, self._now), priority, self._seq, lambda: callback(*args)),
+            (max(time, self._now), priority, self._seq, callback, args),
         )
         self._seq += 1
 
@@ -184,19 +227,28 @@ class SimulationEngine:
 
     # -- processes ----------------------------------------------------------
 
-    def spawn(self, gen: ProcessGenerator, name: str | None = None) -> SimProcess:
-        """Register a generator as a process starting at the current time."""
-        process = SimProcess(self, name or f"proc-{len(self._processes)}", gen)
+    def spawn(
+        self, gen: ProcessGenerator, name: str | None = None, priority: int = 0
+    ) -> SimProcess:
+        """Register a generator as a process starting at the current time.
+
+        ``priority`` tie-breaks this process's wake events against same-time
+        events of other priorities (lower runs first); processes of equal
+        priority fall back to scheduling order.
+        """
+        process = SimProcess(
+            self, name or f"proc-{len(self._processes)}", gen, priority=priority
+        )
         self._processes.append(process)
         # Start the process as an immediate event so spawn order == start order.
-        self.call_at(self._now, self._step, process, None)
+        self.call_at(self._now, self._step, process, None, priority=priority)
         return process
 
     def processes(self) -> list[SimProcess]:
         return list(self._processes)
 
     def _resume(self, process: SimProcess, value: Any) -> None:
-        self.call_at(self._now, self._step, process, value)
+        self.call_at(self._now, self._step, process, value, priority=process.priority)
 
     def _step(self, process: SimProcess, send_value: Any) -> None:
         if process.finished:
@@ -214,17 +266,23 @@ class SimulationEngine:
         self._handle_yield(process, yielded)
 
     def _handle_yield(self, process: SimProcess, yielded: Any) -> None:
+        priority = process.priority
         if yielded is None:
             # Cooperative reschedule at the same instant (after pending events).
-            self.call_at(self._now, self._step, process, None)
+            self.call_at(self._now, self._step, process, None, priority=priority)
         elif isinstance(yielded, Timeout):
-            self.call_after(yielded.delay, self._step, process, None)
+            self.call_after(yielded.delay, self._step, process, None, priority=priority)
+        elif isinstance(yielded, WakeAt):
+            self.call_at(
+                max(yielded.time, self._now), self._step, process, None,
+                priority=priority,
+            )
         elif isinstance(yielded, (int, float)) and not isinstance(yielded, bool):
             if yielded < 0:
                 raise SimulationError(
                     f"process {process.name!r} yielded a negative delay ({yielded})"
                 )
-            self.call_after(float(yielded), self._step, process, None)
+            self.call_after(float(yielded), self._step, process, None, priority=priority)
         elif isinstance(yielded, SimProcess):
             yielded.on_finish(lambda value: self._resume(process, value))
         elif isinstance(yielded, (list, tuple)) and all(
@@ -264,25 +322,57 @@ class SimulationEngine:
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        queue = self._queue
+        executed = 0
         try:
-            while self._queue:
-                time, _priority, _seq, action = self._queue[0]
+            while queue:
+                entry = queue[0]
+                time = entry[0]
                 if until is not None and time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 if time > self._now:
                     self._now = time
-                action()
+                entry[3](*entry[4])
+                executed += 1
         finally:
             self._running = False
+            self._executed += executed
         if until is not None and not self._queue and self._now < until:
             self._now = until
         return self._now
 
+    @property
+    def events_executed(self) -> int:
+        """Total events dispatched so far (the perf harness's events/sec)."""
+        return self._executed
+
     def peek(self) -> float | None:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         return self._queue[0][0] if self._queue else None
+
+    def next_event_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` if the queue is empty.
+
+        The skip-ahead primitive: a process deciding how far it may batch
+        uninterrupted work can compare candidate wake instants against the
+        next externally-visible instant of the simulation.  Note the result
+        may equal :attr:`now` — events at the current instant (with pending
+        sequence numbers) still count as external.
+        """
+        return self._queue[0][0] if self._queue else None
+
+    def advance_until(self, time: float) -> WakeAt:
+        """Token for a bounded skip-ahead: ``yield engine.advance_until(t)``.
+
+        The process sleeps until the absolute instant ``t`` (clamped to
+        ``now``), landing on exactly that float — no delay re-addition.
+        Events scheduled before ``t`` still run at their own times; the
+        caller is responsible for choosing a ``t`` it may legally sleep
+        through (typically bounded by :meth:`next_event_time`).
+        """
+        return WakeAt(time)
 
     def pending(self) -> int:
         """Number of queued events."""

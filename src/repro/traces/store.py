@@ -13,7 +13,8 @@ re-simulating".
 Artifact layout: one ``<key>.jsonl.gz`` file per cell.  The first line is a
 versioned run header (spec contents, scenario, workload name, end time,
 cycles/µs calibration); every following line is one step or mask-change
-record in recording order, using exactly the JSONL-sink schema
+record — steps in the tracer's canonical ``(start, job, rank)`` order, mask
+changes in recording order — using exactly the JSONL-sink schema
 (:meth:`~repro.metrics.tracing.StepRecord.to_record`).  Floats serialise via
 ``repr`` and gzip is written with a zeroed mtime, so the same tracer always
 produces byte-identical artifacts — re-puts are idempotent, and shard stores
@@ -51,7 +52,10 @@ DEFAULT_TRACE_ROOT = Path("benchmarks") / "results" / "traces"
 #: Version history:
 #:
 #: * 1 — initial layout (header + step/mask-change records, gzip JSONL).
-TRACE_FORMAT_VERSION = 1
+#: * 2 — step records serialise in the tracer's canonical ``(start, job,
+#:   rank)`` order instead of raw recording order, so batched and unbatched
+#:   executions of the same cell write byte-identical artifacts.
+TRACE_FORMAT_VERSION = 2
 
 _SUFFIX = ".jsonl.gz"
 

@@ -25,7 +25,9 @@ Two scenarios are provided, matching Section 6:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Callable
 
 from repro.apps.base import ApplicationModel, RankWorkPlan
@@ -103,6 +105,9 @@ class ScenarioResult:
     #: DROM statistics (Section 7 future work): per job label, the per-rank
     #: counters accumulated by the stats module while the job ran.
     job_stats: dict[str, list[ProcessStats]] = field(default_factory=dict)
+    #: Engine events dispatched during the run (perf-harness throughput
+    #: denominator; not part of any serialised artifact).
+    events_executed: int = 0
 
     def job(self, label: str) -> Job:
         return self.jobs[label]
@@ -143,6 +148,14 @@ class ScenarioRunner:
     backfill:
         Forwarded to :class:`~repro.slurm.slurmctld.Slurmctld`: jobs behind a
         blocked job may start if they fit.
+    batching:
+        True (the default) runs the batched fast path: stretches of steps
+        that provably cannot observe a mask change, a scheduler event or a
+        co-runner change are priced per uniform segment and advanced with a
+        single engine wake, emitting the same per-step records on wake.
+        False runs the one-yield-per-step reference loop.  Both paths
+        produce byte-identical metrics, traces and stored artifacts — the
+        ``bench_perf_core`` harness gates every release on it.
     """
 
     def __init__(
@@ -153,6 +166,7 @@ class ScenarioRunner:
         interference: Callable[[str, str, list[str]], float] | None = None,
         node_policy=None,
         backfill: bool = False,
+        batching: bool = True,
     ) -> None:
         self.drom_enabled = drom_enabled
         self.cluster = cluster or ClusterTopology.marenostrum3(2)
@@ -160,6 +174,7 @@ class ScenarioRunner:
         self.interference = interference
         self.node_policy = node_policy
         self.backfill = backfill
+        self.batching = batching
 
     @property
     def scenario(self) -> str:
@@ -186,6 +201,7 @@ class ScenarioRunner:
             jobs={label: job for label, job in state.jobs_by_label.items()},
             end_time=state.engine.now,
             job_stats=state.job_stats,
+            events_executed=state.engine.events_executed,
         )
 
 
@@ -193,12 +209,31 @@ def run_both_scenarios(
     workload: Workload,
     cluster: ClusterTopology | None = None,
     policy: DistributionPolicy | None = None,
+    interference: Callable[[str, str, list[str]], float] | None = None,
+    node_policy=None,
+    backfill: bool = False,
+    batching: bool = True,
 ) -> dict[str, ScenarioResult]:
-    """Run the Serial and DROM scenarios of the same workload."""
-    return {
-        SERIAL: ScenarioRunner(False, cluster=cluster, policy=policy).run(workload),
-        DROM: ScenarioRunner(True, cluster=cluster, policy=policy).run(workload),
-    }
+    """Run the Serial and DROM scenarios of the same workload.
+
+    Every runner option is forwarded to *both* :class:`ScenarioRunner`\\ s, so
+    a comparison configured with e.g. ``backfill=True`` really compares two
+    backfilling controllers (historically only ``cluster``/``policy`` passed
+    through and the rest were silently dropped).
+    """
+    results = {}
+    for drom_enabled in (False, True):
+        runner = ScenarioRunner(
+            drom_enabled,
+            cluster=cluster,
+            policy=policy,
+            interference=interference,
+            node_policy=node_policy,
+            backfill=backfill,
+            batching=batching,
+        )
+        results[runner.scenario] = runner.run(workload)
+    return results
 
 
 class _RunState:
@@ -230,6 +265,19 @@ class _RunState:
         self.workload_jobs_by_id: dict[int, WorkloadJob] = {}
         self.executions: dict[int, JobExecution] = {}
         self.job_stats: dict[str, list[ProcessStats]] = {}
+        # -- batching bookkeeping (see _execute_batched) ------------------
+        #: Submit instants not yet fired, ascending — static fences.
+        self._pending_submits: list[float] = []
+        #: job_id -> lower bound on the next instant this job can cause a
+        #: side effect others observe (its completion).  A batch may never
+        #: sleep past another job's fence or a pending submit.
+        self._fences: dict[int, float] = {}
+        #: job_id -> the wake instant of the job's currently running batch.
+        self._batch_end: dict[int, float] = {}
+        #: Per-run launch sequence; used as the engine wake priority of each
+        #: job's executor so same-instant wakes interleave identically no
+        #: matter how (or whether) their sleeps were batched.
+        self._launch_seq = 0
 
     def _resolve_node_policy(self, policy):
         """Build a by-name node policy against this run's statistics."""
@@ -248,8 +296,11 @@ class _RunState:
     def start(self) -> None:
         for wjob in self.workload.jobs:
             self.engine.call_at(wjob.submit_time, self._submit, wjob)
+            self._pending_submits.append(max(wjob.submit_time, 0.0))
+        self._pending_submits.sort()
 
     def _submit(self, wjob: WorkloadJob) -> None:
+        self._pending_submits.remove(self.engine.now)
         # Per-job resource request: explicit on the workload job, or the app
         # configuration spread over the workload's default node count.
         request = wjob.resource_request(self.workload.nodes)
@@ -272,6 +323,15 @@ class _RunState:
     def _schedule_pass(self) -> None:
         for decision in self.ctld.schedule(self.engine.now):
             self._launch(decision.job)
+        # A pass may have written new masks (DROM repartitioning).  A running
+        # batch priced its steps under the old masks; that is fine — its wake
+        # is its next poll — but its *completion fence* may now be stale (an
+        # expansion finishes the job earlier than advertised).  Clamp every
+        # fence to the job's next wake: the executor re-publishes an exact
+        # fence there, and nobody sleeps past an instant that may now matter.
+        for job_id, batch_end in self._batch_end.items():
+            if batch_end < self._fences.get(job_id, batch_end):
+                self._fences[job_id] = batch_end
 
     # -- launching --------------------------------------------------------------------------
 
@@ -309,7 +369,21 @@ class _RunState:
                 )
             )
         self.executions[job.job_id] = execution
-        self.engine.spawn(self._execute(execution), name=f"job-{job.job_id}-{wjob.label}")
+        # Until the executor's first decision (an immediate event), the job
+        # may do anything "now": a conservative fence no batch can cross.
+        self._fences[job.job_id] = self.engine.now
+        self._batch_end[job.job_id] = self.engine.now
+        self._launch_seq += 1
+        body = (
+            self._execute_batched(execution)
+            if self.runner.batching
+            else self._execute(execution)
+        )
+        self.engine.spawn(
+            body,
+            name=f"job-{job.job_id}-{wjob.label}",
+            priority=self._launch_seq,
+        )
 
     def _install_mask_tracer(
         self, label: str, rank: int, process: ApplicationProcess
@@ -402,6 +476,283 @@ class _RunState:
                 rank.plan.advance()
         self._complete(execution)
 
+    def _batch_horizon(self, job_id: int) -> float | None:
+        """Earliest instant an *external* side effect may occur, or None.
+
+        A batch for ``job_id`` may extend to this instant (inclusive) but
+        never past it: pending submits and other jobs' completions are the
+        only events that write masks, change co-runner sets or read the
+        statistics modules.  Other jobs' intermediate wakes are inert — they
+        only append trace/stats records nobody reads mid-flight — so they do
+        not bound the batch, which is what lets co-running jobs skip ahead
+        together instead of leapfrogging one step at a time.
+        """
+        horizon = self._pending_submits[0] if self._pending_submits else None
+        for other_id, fence in self._fences.items():
+            if other_id == job_id:
+                continue
+            if horizon is None or fence < horizon:
+                horizon = fence
+        return horizon
+
+    def _execute_batched(self, execution: JobExecution):
+        """Batched step advancement: the fast path of :meth:`_execute`.
+
+        Each loop iteration prices as many upcoming steps as provably fit
+        before the batch horizon (masks, interference and stats readers
+        cannot change inside the window), sleeps once to the final step
+        boundary, then emits on wake exactly the records the single-step
+        reference loop would have emitted step by step — same floats, same
+        accumulation order, byte-identical artifacts.
+        """
+        model = execution.model
+        total_ranks = execution.job.spec.ntasks
+        engine = self.engine
+        job_id = execution.job.job_id
+        label = execution.label
+        ranks = execution.ranks
+        partition = model.profile.partition
+        trace = self.trace
+        while not execution.finished():
+            if model.malleable:
+                for rank in ranks:
+                    rank.process.poll_malleability()
+
+            # Frozen batch inputs (can only change at fence events).
+            masks = [rank.process.current_mask for rank in ranks]
+            interferences = [self._interference(execution, rank) for rank in ranks]
+            remaining = min(rank.plan.remaining_steps for rank in ranks)
+            per_rank = [
+                model.step_times(
+                    rank.plan,
+                    remaining,
+                    mask,
+                    rank.node,
+                    total_ranks=total_ranks,
+                    interference=interference,
+                )
+                for rank, mask, interference in zip(ranks, masks, interferences)
+            ]
+            if len(per_rank) == 1:
+                step_durations = per_rank[0]
+            else:
+                step_durations = list(map(max, zip(*per_rank)))
+
+            # Choose the batch size: the longest prefix of step boundaries
+            # that stays *strictly before* the horizon; at least one step.
+            # The boundaries are the left fold ``accumulate`` computes —
+            # the exact "now + duration" addition chain the engine clock
+            # performs when the reference loop sleeps one step at a time.
+            # Strictness matters: an event exactly at the batch wake runs
+            # first (priority 0 beats every executor), and in the reference
+            # loop it would observe the statistics of every earlier step of
+            # the window — so those steps must already be recorded, i.e. the
+            # batch must wake before the event.  The single forced step that
+            # reaches or crosses the horizon is exactly what the reference
+            # loop does: mask writes land mid-step and are seen on wake.
+            horizon = self._batch_horizon(job_id)
+            batch_start = engine.now
+            boundaries = list(accumulate(step_durations, initial=batch_start))
+            del boundaries[0]
+            if horizon is None:
+                k = remaining
+            else:
+                # Count of boundaries strictly before the horizon; a forced
+                # single step when even the first one reaches it.
+                k = bisect_left(boundaries, horizon) or 1
+            # Publish this job's completion fence — the full fold, exact
+            # under the current masks; shrinks only delay it, and expansions
+            # clamp it back to the batch wake at the event that writes them
+            # (_schedule_pass).
+            completion = boundaries[-1]
+            del boundaries[k:]
+            batch_end = boundaries[-1]
+            self._fences[job_id] = completion
+            self._batch_end[job_id] = batch_end
+
+            yield engine.advance_until(batch_end)
+
+            # On wake, emit what the reference loop would have recorded at
+            # each intermediate boundary.
+            for rank, mask, interference, durations in zip(
+                ranks, masks, interferences, per_rank
+            ):
+                nthreads = mask.count()
+                utilisation = partition.thread_utilisation(
+                    rank.plan.initial_threads, nthreads
+                )
+                if not partition.is_static:
+                    utilisation = [1.0] * nthreads
+                busy_fraction = sum(utilisation)
+                plan = rank.plan
+                base = plan.next_step
+                steps = plan.steps
+                rank_no = rank.rank
+                node_name = rank.node.name
+                initial_threads = plan.initial_threads
+                records: list[StepRecord] = []
+                append_record = records.append
+                stats_entries: list[tuple[float, float, int, float]] = []
+                append_stats = stats_entries.append
+                ipc_by_phase: dict[int, float] = {}
+                balanced = durations is step_durations or durations == step_durations
+                if balanced:
+                    # This rank is never the laggard: every scale is exactly
+                    # 1.0, so records share one utilisation tuple (``u * 1.0``
+                    # is bit-identical to ``u``) and the stats entries of an
+                    # equal-duration segment are one shared tuple.
+                    scaled_utilisation = tuple(u * 1.0 for u in utilisation)
+                    if trace:
+                        start = batch_start
+                        for j in range(k):
+                            step = steps[base + j]
+                            phase = step.phase
+                            ipc = ipc_by_phase.get(id(phase))
+                            if ipc is None:
+                                ipc = model.step_ipc_for_phase(
+                                    phase, mask, rank.node, initial_threads
+                                )
+                                ipc_by_phase[id(phase)] = ipc
+                            append_record(
+                                StepRecord(
+                                    label,
+                                    rank_no,
+                                    node_name,
+                                    start,
+                                    step_durations[j],
+                                    phase.name,
+                                    nthreads,
+                                    scaled_utilisation,
+                                    ipc,
+                                    step.work_units,
+                                )
+                            )
+                            start = boundaries[j]
+                    j = 0
+                    while j < k:
+                        step_duration = step_durations[j]
+                        seg = j + 1
+                        while seg < k and step_durations[seg] == step_duration:
+                            seg += 1
+                        busy_thread_seconds = busy_fraction * step_duration
+                        entry = (
+                            busy_thread_seconds,
+                            max(
+                                0.0,
+                                nthreads * step_duration - busy_thread_seconds,
+                            ),
+                            nthreads,
+                            step_duration,
+                        )
+                        if seg - j == 1:
+                            append_stats(entry)
+                        else:
+                            stats_entries.extend([entry] * (seg - j))
+                        j = seg
+                else:
+                    last_scale: float | None = None
+                    scaled_utilisation = ()
+                    start = batch_start
+                    for j in range(k):
+                        step_duration = step_durations[j]
+                        duration = durations[j]
+                        scale = (
+                            duration / step_duration if step_duration > 0 else 1.0
+                        )
+                        if trace:
+                            step = steps[base + j]
+                            if scale != last_scale:
+                                scaled_utilisation = tuple(
+                                    u * scale for u in utilisation
+                                )
+                                last_scale = scale
+                            phase_key = id(step.phase)
+                            ipc = ipc_by_phase.get(phase_key)
+                            if ipc is None:
+                                ipc = model.step_ipc_for_phase(
+                                    step.phase, mask, rank.node, initial_threads
+                                )
+                                ipc_by_phase[phase_key] = ipc
+                            append_record(
+                                StepRecord(
+                                    label,
+                                    rank_no,
+                                    node_name,
+                                    start,
+                                    step_duration,
+                                    step.phase.name,
+                                    nthreads,
+                                    scaled_utilisation,
+                                    ipc,
+                                    step.work_units,
+                                )
+                            )
+                        busy_thread_seconds = busy_fraction * scale * step_duration
+                        append_stats(
+                            (
+                                busy_thread_seconds,
+                                max(
+                                    0.0,
+                                    nthreads * step_duration - busy_thread_seconds,
+                                ),
+                                nthreads,
+                                step_duration,
+                            )
+                        )
+                        start = boundaries[j]
+                # The reference loop reads the mask again *after* each yield;
+                # only the final step of a batch can observe a different one
+                # (a forced single step crossing an event, where a process
+                # whose runtime reads the shared memory directly sees the
+                # newly assigned mask immediately).  Re-derive the last
+                # record and stats entry from the wake-time mask when so.
+                wake_mask = rank.process.current_mask
+                if wake_mask != mask:
+                    j = k - 1
+                    step_duration = step_durations[j]
+                    scale = (
+                        durations[j] / step_duration if step_duration > 0 else 1.0
+                    )
+                    nthreads = wake_mask.count()
+                    utilisation = partition.thread_utilisation(
+                        plan.initial_threads, nthreads
+                    )
+                    if not partition.is_static:
+                        utilisation = [1.0] * nthreads
+                    busy = sum(utilisation) * scale * step_duration
+                    if records:
+                        last = records[-1]
+                        records[-1] = StepRecord(
+                            job=last.job,
+                            rank=last.rank,
+                            node=last.node,
+                            start=last.start,
+                            duration=last.duration,
+                            phase=last.phase,
+                            nthreads=nthreads,
+                            thread_utilisation=tuple(u * scale for u in utilisation),
+                            ipc=model.step_ipc_for_phase(
+                                steps[base + j].phase,
+                                wake_mask,
+                                rank.node,
+                                plan.initial_threads,
+                            ),
+                            work_units=last.work_units,
+                        )
+                    stats_entries[-1] = (
+                        busy,
+                        max(0.0, nthreads * step_duration - busy),
+                        nthreads,
+                        step_duration,
+                    )
+                if records:
+                    self.tracer.record_steps(records)
+                self.stats[node_name].record_compute_batch(
+                    rank.process.spec.pid, stats_entries
+                )
+                plan.advance_many(k)
+        self._complete(execution)
+
     def _interference(self, execution: JobExecution, rank: RankExecution) -> float:
         if self.runner.interference is None:
             return 1.0
@@ -437,6 +788,8 @@ class _RunState:
         self.srun.terminate(job)
         self.ctld.job_completed(job.job_id, self.engine.now)
         del self.executions[job.job_id]
+        self._fences.pop(job.job_id, None)
+        self._batch_end.pop(job.job_id, None)
         # Freed resources may let queued jobs start (the Serial scenario's
         # analytics job starts here).
         self._schedule_pass()

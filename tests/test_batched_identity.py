@@ -1,0 +1,95 @@
+"""Byte-identity of the batched fast path against the single-step reference.
+
+The tentpole guarantee of the fast-core refactor: ``ScenarioRunner`` with
+``batching=True`` (the default) must produce *byte-identical* results to the
+``batching=False`` reference loop — the same ``RunMetrics`` rows, the same
+stored JSON in the metrics tier, and the same gzip artifact bytes in the
+trace tier, across every scenario family.  ``benchmarks/bench_perf_core.py``
+gates releases on the same property at sweep scale; this is the tier-1
+subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.runner import execute_run, summarise_run
+from repro.campaign.spec import (
+    HighPriorityWorkloadRef,
+    InSituWorkloadRef,
+    RunSpec,
+    SyntheticWorkloadRef,
+)
+from repro.results.store import ResultStore
+from repro.traces.store import TraceStore
+from repro.workload.generator import WorkloadSpec
+from repro.workload.runner import DROM, SERIAL
+
+#: One representative cell per scenario family (each expands to a Serial and
+#: a DROM run): the paper's in-situ pair, a heterogeneous resource request,
+#: the high-priority use case, co-run interference, a non-malleable ablation
+#: and a multi-job synthetic draw.
+FAMILIES = {
+    "insitu": dict(workload=InSituWorkloadRef()),
+    "heterogeneous": dict(workload=InSituWorkloadRef(analytics_nodes=1)),
+    "high-priority": dict(workload=HighPriorityWorkloadRef()),
+    "interference": dict(workload=InSituWorkloadRef(), interference_factor=1.3),
+    "non-malleable": dict(
+        workload=InSituWorkloadRef(simulator_kwargs=(("malleable", False),))
+    ),
+    "synthetic": dict(
+        workload=SyntheticWorkloadRef(
+            spec=WorkloadSpec(njobs=4, iterations=400, work_scale=0.1), seed=7
+        )
+    ),
+}
+
+CASES = [
+    pytest.param(
+        RunSpec(index=0, scenario=scenario, **kwargs),
+        id=f"{family}-{scenario}",
+    )
+    for family, kwargs in FAMILIES.items()
+    for scenario in (SERIAL, DROM)
+]
+
+
+@pytest.mark.parametrize("run", CASES)
+def test_batched_run_is_byte_identical_to_reference(run, tmp_path):
+    reference = execute_run(run, trace=True, batching=False)
+    batched = execute_run(run, trace=True, batching=True)
+
+    # Compact campaign rows compare exactly (all floats bit-for-bit).
+    row_ref = summarise_run(run, reference)
+    row_fast = summarise_run(run, batched)
+    assert row_ref == row_fast
+
+    # Metrics tier: identical stored JSON bytes under the same content key.
+    path_ref = ResultStore(tmp_path / "metrics-ref").put(row_ref)
+    path_fast = ResultStore(tmp_path / "metrics-fast").put(row_fast)
+    assert path_ref.name == path_fast.name
+    assert path_ref.read_bytes() == path_fast.read_bytes()
+
+    # Trace tier: identical gzip artifact bytes under the same content key.
+    trace_ref = TraceStore(tmp_path / "traces-ref").put(run, reference)
+    trace_fast = TraceStore(tmp_path / "traces-fast").put(run, batched)
+    assert trace_ref.name == trace_fast.name
+    assert trace_ref.read_bytes() == trace_fast.read_bytes()
+
+
+@pytest.mark.parametrize(
+    "run",
+    [
+        pytest.param(RunSpec(index=0, scenario=DROM, workload=InSituWorkloadRef()), id="drom")
+    ],
+)
+def test_batched_tracer_views_match_reference(run):
+    """Derived tracer views (not just serialised bytes) agree too."""
+    reference = execute_run(run, trace=True, batching=False)
+    batched = execute_run(run, trace=True, batching=True)
+    assert batched.tracer.steps() == reference.tracer.steps()
+    assert batched.tracer.mask_changes() == reference.tracer.mask_changes()
+    assert batched.tracer.jobs() == reference.tracer.jobs()
+    for job in reference.tracer.jobs():
+        assert batched.tracer.span(job) == reference.tracer.span(job)
+    assert batched.end_time == reference.end_time

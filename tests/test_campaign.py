@@ -251,6 +251,30 @@ class TestSchedulerAxis:
         assert "2 schedulers" in out
         assert "backfill" in out and "fcfs" in out
 
+    def test_cli_profile_writes_pstats_and_prints_hotspots(self, capsys, tmp_path):
+        import pstats
+
+        out_path = tmp_path / "sweep.pstats"
+        code = campaign_cli(
+            [
+                "--workloads", "1",
+                "--njobs", "2",
+                "--work-scale", "0.04",
+                "--iterations", "12",
+                "--workers", "4",
+                "--profile", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert "top 20 by cumulative time" in out
+        assert "ignoring --workers" in out  # profiling forces in-process
+        assert "cumtime" in out
+        # The dump is a loadable pstats file with real samples in it.
+        stats = pstats.Stats(str(out_path))
+        assert stats.total_calls > 0
+
 
 class TestDeterminism:
     @pytest.fixture(scope="class")

@@ -226,3 +226,52 @@ class TestUseCase2Workload:
         nest_end = drom.metrics.job("NEST Conf. 1").end_time
         expansion_times = [c.time for c in changes if c.new_threads == 16]
         assert min(expansion_times) >= nest_end
+
+
+class TestRunBothScenariosForwarding:
+    """Regression: run_both_scenarios used to forward only cluster/policy and
+    silently dropped backfill, node_policy, interference and batching."""
+
+    def test_every_option_reaches_both_runners(self, monkeypatch):
+        captured = []
+        real = ScenarioRunner
+
+        class Recorder(real):
+            def __init__(self, drom_enabled, **kwargs):
+                captured.append((drom_enabled, dict(kwargs)))
+                super().__init__(drom_enabled, **kwargs)
+
+        monkeypatch.setattr("repro.workload.runner.ScenarioRunner", Recorder)
+
+        def interference(job, node, co_runners):
+            return 1.0
+
+        run_both_scenarios(
+            in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2"),
+            interference=interference,
+            node_policy="first-fit",
+            backfill=True,
+            batching=False,
+        )
+        assert [drom for drom, _ in captured] == [False, True]
+        for _drom, kwargs in captured:
+            assert kwargs["backfill"] is True
+            assert kwargs["node_policy"] == "first-fit"
+            assert kwargs["interference"] is interference
+            assert kwargs["batching"] is False
+
+    def test_interference_slows_the_drom_scenario(self):
+        workload = in_situ_workload("NEST", "Conf. 1", "Pils", "Conf. 2")
+        base = run_both_scenarios(workload)
+        slowed = run_both_scenarios(
+            workload,
+            interference=lambda job, node, co: 2.0 if co else 1.0,
+        )
+        # Co-located DROM jobs slow down; the serial scenario never co-runs.
+        assert (
+            slowed[DROM].metrics.total_run_time
+            > base[DROM].metrics.total_run_time
+        )
+        assert slowed[SERIAL].metrics.total_run_time == pytest.approx(
+            base[SERIAL].metrics.total_run_time
+        )
