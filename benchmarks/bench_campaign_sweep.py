@@ -13,7 +13,6 @@ second sweep must simulate nothing and aggregate byte-identically.
 from __future__ import annotations
 
 import os
-import time
 
 from repro.campaign import (
     CampaignSpec,
@@ -21,6 +20,7 @@ from repro.campaign import (
     SyntheticWorkloadRef,
     run_campaign,
 )
+from repro.obs.telemetry import Telemetry
 from repro.results import ResultStore
 from repro.workload.generator import WorkloadSpec
 from repro.workload.runner import DROM, SERIAL
@@ -80,15 +80,19 @@ def test_campaign_sweep_store_roundtrip(tmp_path, report):
     spec = build_spec()
     store = ResultStore(tmp_path / "store")
 
-    t0 = time.perf_counter()
-    cold = run_campaign(spec, workers=1, store=store)
-    cold_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    warm = run_campaign(spec, workers=1, store=store)
-    warm_s = time.perf_counter() - t0
+    # Both sweeps are timed on the shared telemetry clock/schema: the
+    # campaign root span's duration *is* the wall-clock (no private
+    # perf_counter bookkeeping).
+    cold_obs, warm_obs = Telemetry(), Telemetry()
+    cold = run_campaign(spec, workers=1, store=store, telemetry=cold_obs)
+    warm = run_campaign(spec, workers=1, store=store, telemetry=warm_obs)
+    cold_s = cold_obs.roots[0].duration
+    warm_s = warm_obs.roots[0].duration
 
     assert cold.executed == spec.nruns and cold.cache_hits == 0
     assert warm.executed == 0 and warm.cache_hits == spec.nruns
+    # The per-tier breakdown agrees with the aggregate accounting.
+    assert warm.metrics_hits == spec.nruns and warm.backfilled == 0
     assert len(store) == spec.nruns
     # Byte-identical aggregation from cache.
     assert warm.rows == cold.rows
@@ -102,6 +106,7 @@ def test_campaign_sweep_store_roundtrip(tmp_path, report):
         f"  warm/cold wall-clock ratio: {ratio:8.4f} "
         f"({1 / ratio:.0f}x speed-up)\n"
         f"  warm run simulations: {warm.executed} (cache hits: {warm.cache_hits})\n"
+        f"  warm run {warm.tier_summary()}\n"
         f"  aggregated tables byte-identical: "
         f"{warm.to_table() == cold.to_table()}"
     )

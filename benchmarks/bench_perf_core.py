@@ -28,13 +28,13 @@ import argparse
 import json
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 if __name__ == "__main__":  # standalone: make src/ importable without PYTHONPATH
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.campaign.runner import execute_run, summarise_run
+from repro.obs.telemetry import Span, Telemetry
 from repro.campaign.spec import (
     HighPriorityWorkloadRef,
     InSituWorkloadRef,
@@ -65,16 +65,33 @@ FAMILIES = {
 }
 
 
-def _timed(run: RunSpec, batching: bool) -> tuple[float, object]:
-    t0 = time.perf_counter()
-    result = execute_run(run, trace=True, batching=batching)
-    return time.perf_counter() - t0, result
+def _timed(run: RunSpec, batching: bool) -> tuple[Span, object]:
+    """One cell on the shared telemetry clock/schema (no private timers).
+
+    Returns the closed ``cell`` span — its duration is the wall-clock, its
+    ``simulate`` child carries the events/steps/batches counters — plus the
+    scenario result.
+    """
+    obs = Telemetry()
+    with obs.span("cell", batching=batching) as cell:
+        result = execute_run(run, trace=True, batching=batching, telemetry=obs)
+    return cell, result
+
+
+def _span_seconds(cell: Span) -> dict[str, float]:
+    """Per-name wall-clock totals of one cell tree (the report's span block)."""
+    totals: dict[str, float] = {}
+    for span in cell.walk():
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+    return dict(sorted(totals.items()))
 
 
 def run_cell(family: str, run: RunSpec, work_dir: Path) -> dict:
     """Execute one grid cell both ways, check byte identity, report timings."""
-    ref_seconds, reference = _timed(run, batching=False)
-    fast_seconds, batched = _timed(run, batching=True)
+    ref_cell, reference = _timed(run, batching=False)
+    fast_cell, batched = _timed(run, batching=True)
+    ref_seconds = ref_cell.duration
+    fast_seconds = fast_cell.duration
 
     row_ref = summarise_run(run, reference)
     row_fast = summarise_run(run, batched)
@@ -96,6 +113,7 @@ def run_cell(family: str, run: RunSpec, work_dir: Path) -> dict:
 
     steps = len(batched.tracer)
     events = batched.events_executed
+    simulate = fast_cell.find("simulate")[0]
     return {
         "family": family,
         "scenario": run.scenario,
@@ -108,6 +126,11 @@ def run_cell(family: str, run: RunSpec, work_dir: Path) -> dict:
         "events_per_sec": events / fast_seconds if fast_seconds > 0 else float("inf"),
         "reference_events": reference.events_executed,
         "byte_identical": True,
+        # Span-schema totals of the batched execution (build vs simulate) and
+        # the simulate span's counters — the same names telemetry.json uses.
+        "span_seconds": _span_seconds(fast_cell),
+        "counters": {key: simulate.counters[key] for key in sorted(simulate.counters)},
+        "reference_span_seconds": _span_seconds(ref_cell),
     }
 
 
@@ -132,6 +155,10 @@ def run_harness(out: Path) -> dict:
     ref_total = sum(c["reference_seconds"] for c in cells)
     fast_total = sum(c["batched_seconds"] for c in cells)
     aggregate = ref_total / fast_total if fast_total > 0 else float("inf")
+    span_totals: dict[str, float] = {}
+    for cell in cells:
+        for name, seconds in cell["span_seconds"].items():
+            span_totals[name] = span_totals.get(name, 0.0) + seconds
     report = {
         "gate": {"minimum_speedup": SPEEDUP_GATE, "passed": aggregate >= SPEEDUP_GATE},
         "aggregate": {
@@ -140,6 +167,7 @@ def run_harness(out: Path) -> dict:
             "speedup": aggregate,
             "cells": len(cells),
             "byte_identical": all(c["byte_identical"] for c in cells),
+            "span_seconds": dict(sorted(span_totals.items())),
         },
         "cells": cells,
     }

@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.campaign.runner import run_campaign
+from repro.obs.log import LEVELS, configure, get_logger
 from repro.campaign.spec import (
     NODE_POLICY_NAMES,
     POLICY_REGISTRY,
@@ -34,6 +35,8 @@ from repro.workload.generator import (
     heavy_tailed_size_mix,
 )
 from repro.workload.runner import DROM, SERIAL
+
+_log = get_logger("campaign.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "campaigns; combine with per-host --store roots "
                             "and 'python -m repro.results merge' to "
                             "distribute a sweep")
+
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--progress", action="store_true",
+                     help="repaint a live done/total | cache hits | cells/s | "
+                          "ETA line on stderr as cells complete")
+    obs.add_argument("--telemetry", default=None, metavar="OUT.json",
+                     help="record the campaign's span tree and write the "
+                          "machine-readable telemetry summary (cells/sec, "
+                          "per-tier hit rates, p50/p95 cell wall-clock) to "
+                          "the given path")
+    obs.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                     help="export the span tree as Chrome trace-event JSON "
+                          "(load in chrome://tracing or ui.perfetto.dev)")
+    obs.add_argument("--log-level", choices=sorted(LEVELS), default=None,
+                     help="stderr log level for the repro stack; overrides "
+                          "the REPRO_LOG environment variable "
+                          "(default: REPRO_LOG or warning)")
 
     cluster = parser.add_argument_group("cluster")
     cluster.add_argument("--nnodes", type=int, default=4,
@@ -218,6 +238,7 @@ def _select_shard(spec: CampaignSpec, shard: str) -> CampaignSpec:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure(args.log_level)
     try:
         spec = build_spec(args)
         if args.shard is not None:
@@ -242,6 +263,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.traces.store import TraceStore
 
         trace_store = TraceStore(args.trace_store)
+    telemetry = None
+    if args.telemetry is not None or args.chrome_trace is not None:
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
     if args.profile is not None:
         # Profile the serial executor: a worker pool would hide the hot path
         # in child processes, so the sweep runs in-process under cProfile.
@@ -249,12 +275,20 @@ def main(argv: list[str] | None = None) -> int:
         import pstats
 
         if args.workers != 1:
-            print("--profile forces the in-process executor; ignoring --workers")
+            _log.warning(
+                "--profile forces the in-process executor; ignoring --workers=%d",
+                args.workers,
+            )
         profiler = cProfile.Profile()
         profiler.enable()
         try:
             result = run_campaign(
-                spec, workers=1, store=store, trace_store=trace_store
+                spec,
+                workers=1,
+                store=store,
+                trace_store=trace_store,
+                telemetry=telemetry,
+                progress=args.progress,
             )
         finally:
             profiler.disable()
@@ -263,9 +297,23 @@ def main(argv: list[str] | None = None) -> int:
         pstats.Stats(profiler).strip_dirs().sort_stats("cumulative").print_stats(20)
     else:
         result = run_campaign(
-            spec, workers=args.workers, store=store, trace_store=trace_store
+            spec,
+            workers=args.workers,
+            store=store,
+            trace_store=trace_store,
+            telemetry=telemetry,
+            progress=args.progress,
         )
-    print(result.to_table())
+    if telemetry is not None:
+        from repro.obs.export import write_chrome_trace, write_summary
+
+        if args.telemetry is not None:
+            write_summary(telemetry, args.telemetry)
+            print(f"telemetry summary written to {args.telemetry}")
+        if args.chrome_trace is not None:
+            write_chrome_trace(telemetry, args.chrome_trace)
+            print(f"chrome trace written to {args.chrome_trace}")
+    print(result.to_table(tiers=store is not None or trace_store is not None))
     if store is not None:
         print(
             f"\nstore {store.root}: {result.cache_hits} cache hit(s), "

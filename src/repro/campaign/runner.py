@@ -12,6 +12,16 @@ The execution contract that everything else leans on:
   aggregation order is fixed, a fixed-seed campaign produces byte-identical
   aggregated metrics no matter how many workers executed it.
 
+Observability rides the same seam: every cell is measured on a *fresh clock*
+from the telemetry's clock factory and records a detached
+``cell -> {build, simulate, summarise, store_write, trace_write}`` span tree
+(:mod:`repro.obs.telemetry`).  Pooled workers ship their trees back through
+the pool next to the metrics row, and the parent stitches all cells under
+the ``campaign`` span in run-index order — so serial and pooled campaigns
+produce structurally identical telemetry (byte-identical with a
+deterministic fake clock factory).  Telemetry is observational only: rows,
+content keys and stored artifacts are byte-identical with it on or off.
+
 Experiments that need the full :class:`ScenarioResult` (tracers for the
 figure reproductions) call :func:`execute_run` / :func:`run_scenario_pair`
 directly instead of going through the compact aggregation.
@@ -20,11 +30,15 @@ directly instead of going through the compact aggregation.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 from dataclasses import dataclass
 from functools import partial
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, TextIO
 
 from repro.campaign.spec import CampaignSpec, RunSpec, WorkloadRef
+from repro.obs.log import get_logger
+from repro.obs.progress import ProgressLine
+from repro.obs.telemetry import DISABLED, Span, Telemetry
 from repro.workload.runner import DROM, SERIAL, ScenarioResult, ScenarioRunner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
@@ -33,9 +47,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.traces.query import ScenarioReplay
     from repro.traces.store import TraceStore
 
+_log = get_logger("campaign")
+
 
 def execute_run(
-    run: RunSpec, trace: bool = False, batching: bool = True
+    run: RunSpec,
+    trace: bool = False,
+    batching: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> ScenarioResult:
     """Execute one campaign run and return the full scenario result.
 
@@ -43,25 +62,35 @@ def execute_run(
     batched fast path; results are byte-identical either way (the
     ``bench_perf_core`` harness gates on it), so the flag is deliberately
     *not* part of :class:`RunSpec` or the content hash.
+
+    ``telemetry`` records ``build`` and ``simulate`` spans under the current
+    span; the ``simulate`` span carries the run's engine/step/batch counters.
     """
-    workload = run.workload.build()
-    interference = None
-    if run.interference_factor is not None:
-        factor = run.interference_factor
+    obs = telemetry if telemetry is not None else DISABLED
+    with obs.span("build"):
+        workload = run.workload.build()
+        interference = None
+        if run.interference_factor is not None:
+            factor = run.interference_factor
 
-        def interference(job: str, node: str, co_runners: list[str]) -> float:
-            return factor if co_runners else 1.0
+            def interference(job: str, node: str, co_runners: list[str]) -> float:
+                return factor if co_runners else 1.0
 
-    runner = ScenarioRunner(
-        drom_enabled=run.scenario == DROM,
-        cluster=run.cluster.build(),
-        policy=run.policy.build() if run.policy is not None else None,
-        interference=interference,
-        backfill=run.scheduler.backfill,
-        node_policy=run.scheduler.node_policy,
-        batching=batching,
-    )
-    return runner.run(workload, trace=trace)
+        runner = ScenarioRunner(
+            drom_enabled=run.scenario == DROM,
+            cluster=run.cluster.build(),
+            policy=run.policy.build() if run.policy is not None else None,
+            interference=interference,
+            backfill=run.scheduler.backfill,
+            node_policy=run.scheduler.node_policy,
+            batching=batching,
+        )
+    with obs.span("simulate") as span:
+        result = runner.run(workload, trace=trace)
+        span.count("events", result.events_executed)
+        span.count("steps", result.steps_advanced)
+        span.count("batches", result.batches_executed)
+    return result
 
 
 def run_scenario_pair(
@@ -70,6 +99,7 @@ def run_scenario_pair(
     sinks: Iterable["TraceSink"] = (),
     store: "ResultStore | None" = None,
     trace_store: "TraceStore | None" = None,
+    telemetry: Telemetry | None = None,
     **run_kwargs,
 ) -> dict[str, "ScenarioResult | ScenarioReplay"]:
     """Serial and DROM full results of one workload (the experiments' idiom).
@@ -86,28 +116,42 @@ def run_scenario_pair(
     is what lets the trace-based figure experiments regenerate from a warm
     store without simulating.  Unlike campaign cache hits, replays *do*
     carry a full tracer, so sinks are fed on both paths.
+
+    ``telemetry`` records one ``cell`` span per scenario (with a ``replay``
+    child on double hits, the usual execution children otherwise).
     """
     sinks = tuple(sinks)
+    obs = telemetry if telemetry is not None else DISABLED
     results: dict[str, ScenarioResult] = {}
     for i, scenario in enumerate((SERIAL, DROM)):
         run = RunSpec(index=i, scenario=scenario, workload=workload, **run_kwargs)
-        result = None
-        if store is not None and trace_store is not None:
-            row = store.get(run)
-            entry = trace_store.get(run) if row is not None else None
-            if row is not None and entry is not None:
-                from repro.traces.query import replay_scenario
+        with obs.span("cell", index=i, run_id=run.run_id, cached=False) as cell:
+            result = None
+            if store is not None and trace_store is not None:
+                row = store.get(run)
+                entry = trace_store.get(run) if row is not None else None
+                if row is not None and entry is not None:
+                    from repro.traces.query import replay_scenario
 
-                result = replay_scenario(run, row, entry)
-        if result is None:
-            capture = trace or bool(sinks) or trace_store is not None
-            result = execute_run(run, trace=capture)
-            if store is not None:
-                store.put(summarise_run(run, result))
-            if trace_store is not None:
-                trace_store.put(run, result)
-        for sink in sinks:
-            sink.write(run, result)
+                    with obs.span("replay"):
+                        result = replay_scenario(run, row, entry)
+                    cell.attrs["cached"] = True
+                    cell.count("metrics_hit", 1)
+                    cell.count("trace_hit", 1)
+                    _log.debug("cell %s: replayed from both tiers", run.cell_id)
+            if result is None:
+                capture = trace or bool(sinks) or trace_store is not None
+                result = execute_run(run, trace=capture, telemetry=obs)
+                if store is not None:
+                    with obs.span("store_write") as span:
+                        path = store.put(summarise_run(run, result))
+                        span.count("bytes", path.stat().st_size)
+                if trace_store is not None:
+                    with obs.span("trace_write") as span:
+                        path = trace_store.put(run, result)
+                        span.count("bytes", path.stat().st_size)
+            for sink in sinks:
+                sink.write(run, result)
         results[scenario] = result
     return results
 
@@ -161,20 +205,41 @@ def _execute_and_summarise(
     run: RunSpec,
     sinks: tuple["TraceSink", ...] = (),
     trace_store: "TraceStore | None" = None,
-) -> RunMetrics:
+    store: "ResultStore | None" = None,
+    clock_factory=None,
+) -> tuple[RunMetrics, Span | None]:
     """Pool worker entry point (module-level so it pickles).
 
     Tracing is enabled only when sinks or the trace tier want the full
-    trace; each worker writes its own runs' trace files (sink outputs and
-    trace-store artifacts are keyed per run, so concurrent workers never
-    collide — and same-cell collisions write atomically).
+    trace; each worker writes its own runs' store entries and trace files
+    (both tiers are keyed per run, so concurrent workers never collide — and
+    same-cell collisions write atomically).
+
+    Returns the metrics row plus the cell's detached span tree (``None``
+    when telemetry is off).  The tree is measured on a **fresh clock** from
+    ``clock_factory`` — the same code path whether this call runs in-process
+    or inside a pool worker, which is what makes serial and pooled telemetry
+    identical under a deterministic fake factory.
     """
-    result = execute_run(run, trace=bool(sinks) or trace_store is not None)
-    for sink in sinks:
-        sink.write(run, result)
-    if trace_store is not None:
-        trace_store.put(run, result)
-    return summarise_run(run, result)
+    obs = Telemetry(clock_factory=clock_factory) if clock_factory is not None else DISABLED
+    with obs.span("cell", index=run.index, run_id=run.run_id, cached=False) as cell:
+        result = execute_run(
+            run, trace=bool(sinks) or trace_store is not None, telemetry=obs
+        )
+        with obs.span("summarise"):
+            row = summarise_run(run, result)
+        for sink in sinks:
+            sink.write(run, result)
+        if store is not None:
+            with obs.span("store_write") as span:
+                path = store.put(row)
+                span.count("bytes", path.stat().st_size)
+        if trace_store is not None:
+            with obs.span("trace_write") as span:
+                path = trace_store.put(run, result)
+                span.count("bytes", path.stat().st_size)
+        cell.count("events", result.events_executed)
+    return row, (obs.roots[0] if obs.enabled else None)
 
 
 @dataclass(frozen=True)
@@ -183,10 +248,19 @@ class CampaignResult:
 
     name: str
     rows: tuple[RunMetrics, ...]
-    #: How many rows were served from a result store instead of simulated.
+    #: How many rows were served from the store tiers instead of simulated
+    #: (with a trace tier configured, a row counts only when *both* tiers hit).
     cache_hits: int = 0
     #: How many rows were actually simulated (``len(rows) - cache_hits``).
     executed: int = 0
+    #: Metrics-tier hits during the cache scan — includes rows that still
+    #: re-simulated because the trace tier missed (see :attr:`backfilled`).
+    metrics_hits: int = 0
+    #: Trace-tier hits during the cache scan (0 when no trace tier was given).
+    trace_hits: int = 0
+    #: Metrics-tier hits that re-simulated to backfill a missing trace
+    #: artifact (metrics hit, trace miss).
+    backfilled: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -217,8 +291,26 @@ class CampaignResult:
             cells.append(current)
         return cells
 
-    def to_table(self) -> str:
-        """Render the aggregated metrics as one comparable fixed-width table."""
+    def tier_summary(self) -> str:
+        """One line of per-tier cache accounting (metrics vs trace tier)."""
+        total = len(self.rows)
+        parts = [
+            f"metrics tier {self.metrics_hits} hit / "
+            f"{total - self.metrics_hits} miss",
+            f"trace tier {self.trace_hits} hit / {total - self.trace_hits} miss",
+        ]
+        return (
+            "tiers: " + " | ".join(parts)
+            + f" | {self.backfilled} backfill re-simulation(s)"
+        )
+
+    def to_table(self, tiers: bool = False) -> str:
+        """Render the aggregated metrics as one comparable fixed-width table.
+
+        ``tiers=True`` appends the per-tier cache accounting footer
+        (:meth:`tier_summary`); the default rendering stays a pure function
+        of the rows, so warm and cold campaigns tabulate byte-identically.
+        """
         from repro.experiments.tables import render_table
 
         rows = [
@@ -235,7 +327,7 @@ class CampaignResult:
             )
             for m in self.rows
         ]
-        return render_table(
+        table = render_table(
             [
                 "Run",
                 "Scenario",
@@ -249,6 +341,9 @@ class CampaignResult:
             ],
             rows,
         )
+        if tiers:
+            table += "\n" + self.tier_summary()
+        return table
 
 
 def run_campaign(
@@ -257,6 +352,8 @@ def run_campaign(
     store: "ResultStore | None" = None,
     sinks: Iterable["TraceSink"] = (),
     trace_store: "TraceStore | None" = None,
+    telemetry: Telemetry | None = None,
+    progress: "bool | TextIO" = False,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and aggregate the metrics.
 
@@ -277,45 +374,138 @@ def run_campaign(
     (:class:`~repro.traces.store.TraceStore`).  A run skips execution only
     when **both** tiers hit — a metrics hit whose trace artifact is missing
     (or stale-format) re-simulates to backfill the trace, which re-derives
-    the identical row (runs are pure functions of their specs).
+    the identical row (runs are pure functions of their specs).  The result's
+    :attr:`~CampaignResult.metrics_hits` / :attr:`~CampaignResult.trace_hits`
+    / :attr:`~CampaignResult.backfilled` break the scan down per tier.
 
     ``sinks`` receive the full :class:`~repro.workload.runner.ScenarioResult`
     of every run that actually executes (cache hits carry no tracer, so they
     are not re-exported).
+
+    ``telemetry`` records the campaign's span tree: one ``campaign`` root
+    whose children are the per-cell trees in run-index order (cache hits
+    appear as closed ``cell`` spans marked ``cached=True``).  ``progress``
+    (``True`` for stderr, or any writable stream) repaints a live
+    done/total | hits | cells/s | ETA line as cells complete.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
     runs = spec.expand()
     sinks = tuple(sinks)
+    obs = telemetry if telemetry is not None else DISABLED
+    stream = sys.stderr if progress is True else (progress or None)
+    line = ProgressLine(len(runs), stream) if stream is not None else None
+    _log.info(
+        "campaign %r: %d runs on %d worker(s)%s%s",
+        spec.name,
+        len(runs),
+        workers,
+        f", store={store.root}" if store is not None else "",
+        f", trace_store={trace_store.root}" if trace_store is not None else "",
+    )
+
     rows_by_index: dict[int, RunMetrics] = {}
-    if store is not None:
+    spans_by_index: dict[int, Span] = {}
+    #: index -> (metrics_hit, trace_hit) of the cache scan, annotated onto
+    #: the executed cells' spans after stitching.
+    tier_state: dict[int, tuple[bool, bool]] = {}
+    with obs.span("campaign", name=spec.name, runs=len(runs)) as campaign:
         misses = []
+        metrics_hits = trace_hits = backfilled = 0
         for run in runs:
-            cached = store.get(run)
-            if cached is not None and (trace_store is None or run in trace_store):
+            cached = store.get(run) if store is not None else None
+            trace_hit = trace_store is not None and run in trace_store
+            metrics_hits += cached is not None
+            trace_hits += trace_hit
+            tier_state[run.index] = (cached is not None, trace_hit)
+            if cached is not None and (trace_store is None or trace_hit):
                 rows_by_index[run.index] = cached
+                if obs.enabled:
+                    span = obs.record(
+                        "cell", index=run.index, run_id=run.run_id, cached=True
+                    )
+                    span.count("metrics_hit", 1)
+                    if trace_hit:
+                        span.count("trace_hit", 1)
+                    spans_by_index[run.index] = span
+                _log.debug("cell %04d: served from store", run.index)
+                if line is not None:
+                    line.advance(cached=True)
             else:
+                if cached is not None:
+                    backfilled += 1
+                    _log.debug(
+                        "cell %04d: metrics hit but trace miss, re-simulating "
+                        "to backfill the trace tier", run.index,
+                    )
                 misses.append(run)
-    else:
-        misses = list(runs)
-    worker = partial(_execute_and_summarise, sinks=sinks, trace_store=trace_store)
-    if not misses:
-        fresh: list[RunMetrics] = []
-    elif workers == 1:
-        fresh = [worker(run) for run in misses]
-    else:
-        # chunksize=1 keeps the work spread even when run times are skewed;
-        # Pool.map returns results in submission order, preserving run order.
-        with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
-            fresh = pool.map(worker, misses, chunksize=1)
-    for row in fresh:
-        rows_by_index[row.run.index] = row
-        if store is not None:
-            store.put(row)
+        worker = partial(
+            _execute_and_summarise,
+            sinks=sinks,
+            trace_store=trace_store,
+            store=store,
+            clock_factory=obs.clock_factory if obs.enabled else None,
+        )
+
+        def collect(results) -> None:
+            for row, span in results:
+                rows_by_index[row.run.index] = row
+                if span is not None:
+                    spans_by_index[row.run.index] = span
+                _log.debug("cell %04d: simulated", row.run.index)
+                if line is not None:
+                    line.advance()
+
+        try:
+            if not misses:
+                pass
+            elif workers == 1:
+                collect(map(worker, misses))
+            else:
+                # chunksize=1 keeps the work spread even when run times are
+                # skewed; rows are keyed by run index, so the unordered
+                # completion stream (which lets the progress line advance as
+                # cells land) still aggregates deterministically.
+                with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
+                    collect(pool.imap_unordered(worker, misses, chunksize=1))
+        finally:
+            if line is not None:
+                line.finish()
+        if obs.enabled:
+            # Stitch the cell trees under the campaign span in run-index
+            # order and annotate executed cells with the cache-scan state —
+            # both pure functions of the scan, so serial and pooled
+            # campaigns produce identical trees.
+            for run in runs:
+                span = spans_by_index.get(run.index)
+                if span is None:
+                    continue
+                if not span.attrs.get("cached"):
+                    metrics_hit, trace_hit = tier_state[run.index]
+                    span.attrs["backfilled"] = metrics_hit
+                    if metrics_hit:
+                        span.count("metrics_hit", 1)
+                    if trace_hit:
+                        span.count("trace_hit", 1)
+                obs.adopt(span, parent=campaign)
+            campaign.count("executed", len(misses))
+            campaign.count("cached", len(runs) - len(misses))
+            campaign.count("metrics_hits", metrics_hits)
+            campaign.count("trace_hits", trace_hits)
+            campaign.count("backfilled", backfilled)
+    _log.info(
+        "campaign %r done: %d simulated, %d served from store",
+        spec.name,
+        len(misses),
+        len(runs) - len(misses),
+    )
     rows = tuple(rows_by_index[run.index] for run in runs)
     return CampaignResult(
         name=spec.name,
         rows=rows,
         cache_hits=len(runs) - len(misses),
         executed=len(misses),
+        metrics_hits=metrics_hits,
+        trace_hits=trace_hits,
+        backfilled=backfilled,
     )

@@ -1,0 +1,76 @@
+"""Structured logging for the repro stack (stdlib ``logging``).
+
+Every module logs through a child of the ``repro`` logger
+(:func:`get_logger`), and nothing is printed unless :func:`configure`
+attached the stack's stderr handler — library use stays silent by default
+(stdlib's last-resort handler only surfaces warnings and above), while the
+CLIs call :func:`configure` so ``REPRO_LOG=debug|info|warning|error`` or
+``--log-level`` turn the previously silent paths (campaign scheduling,
+store writes, gc, merges) into a readable event stream.
+
+Precedence: an explicit ``--log-level`` beats the ``REPRO_LOG`` environment
+variable, which beats the default (``warning``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["LEVELS", "configure", "get_logger"]
+
+#: Logger-namespace root shared by the whole stack.
+ROOT = "repro"
+
+#: Accepted level names (CLI choices and ``REPRO_LOG`` values).
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Marker attribute identifying the handler :func:`configure` installs.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or the dotted child ``repro.<name>``."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def resolve_level(level: str | int | None = None) -> int:
+    """Map a level name/int/None to a stdlib level (None reads ``REPRO_LOG``)."""
+    if level is None:
+        level = os.environ.get("REPRO_LOG") or "warning"
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+def configure(
+    level: str | int | None = None, stream=None
+) -> logging.Logger:
+    """Attach the stack's stderr handler and set the effective level.
+
+    Idempotent: re-configuring replaces the previously installed handler
+    (never stacks a second one) and updates the level.  Records still
+    propagate to the root logger, so test harnesses capturing via the root
+    (``caplog``) observe the same stream.
+    """
+    logger = get_logger()
+    logger.setLevel(resolve_level(level))
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,79 @@
+"""Live single-line campaign progress (stderr).
+
+A :class:`ProgressLine` repaints one ``\\r``-terminated line as cells
+complete::
+
+    campaign 12/40 (30%) | 8 cache hits | 2.1 cells/s | ETA 0:13
+
+The line is ephemeral terminal feedback, not telemetry: it always measures
+on real wall-clock time (``time.monotonic``), is never part of any exported
+artifact, and rate/ETA are derived from *executed* completions only (cache
+hits land instantly during the scan and would otherwise inflate the rate).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TextIO
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Repaints ``done/total``, cache hits, execution rate and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: TextIO,
+        label: str = "campaign",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.stream = stream
+        self.label = label
+        self.done = 0
+        self.hits = 0
+        self.executed = 0
+        self._clock = clock
+        self._t0 = clock()
+
+    def advance(self, cached: bool = False) -> None:
+        """Mark one cell done (``cached=True`` for store-served cells)."""
+        self.done += 1
+        if cached:
+            self.hits += 1
+        else:
+            self.executed += 1
+        self._render()
+
+    def _eta_text(self) -> str:
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return "0:00"
+        elapsed = self._clock() - self._t0
+        rate = self.executed / elapsed if elapsed > 0 else 0.0
+        if rate <= 0:
+            return "-:--"
+        eta = remaining / rate
+        return f"{int(eta // 60)}:{int(eta % 60):02d}"
+
+    def _render(self) -> None:
+        elapsed = self._clock() - self._t0
+        rate = self.executed / elapsed if elapsed > 0 else 0.0
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        line = (
+            f"\r{self.label} {self.done}/{self.total} ({pct:3.0f}%) | "
+            f"{self.hits} cache hit(s) | {rate:.1f} cells/s | ETA {self._eta_text()}"
+        )
+        self.stream.write(line)
+        if hasattr(self.stream, "flush"):
+            self.stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the progress line (leaves the final state visible)."""
+        if self.done or self.total:
+            self._render()
+        self.stream.write("\n")
+        if hasattr(self.stream, "flush"):
+            self.stream.flush()

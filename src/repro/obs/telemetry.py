@@ -1,0 +1,264 @@
+"""Hierarchical spans with an injectable monotonic clock.
+
+The observability layer's core is a :class:`Telemetry` context: a stack of
+:class:`Span` records timing one region of work each, nested into a tree
+(``campaign -> cell -> {build, simulate, summarise, store_write,
+trace_write}``) and carrying named integer/float counters fed from signals
+the stack already produces (engine events, steps advanced, batched wakes,
+cache hits, artifact bytes).
+
+Two properties make the layer safe to leave on everywhere:
+
+* **Observational only.**  Nothing reads a span or counter back into the
+  simulation; content keys, stored rows and trace artifacts are
+  byte-identical with telemetry on or off (regression-gated by
+  ``tests/test_obs.py``).
+* **Deterministic structure.**  The clock is injectable *as a factory*:
+  every campaign cell is measured on a **fresh clock** from
+  :attr:`Telemetry.clock_factory`, whether the cell executes in-process or
+  inside a ``multiprocessing`` worker.  With a deterministic fake factory
+  (:class:`TickingClockFactory`) a serial and a pooled execution of the same
+  campaign therefore produce *byte-identical* ``telemetry.json`` files —
+  span structure, counters **and** durations.
+
+The pool transport is the :class:`Span` itself: spans are plain picklable
+dataclasses, so a worker returns its detached cell tree alongside the run's
+metrics row and the parent stitches the trees under the campaign span in
+run-index order.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "DISABLED",
+    "Span",
+    "Telemetry",
+    "TickingClock",
+    "TickingClockFactory",
+    "perf_counter_factory",
+]
+
+
+def perf_counter_factory() -> Callable[[], float]:
+    """The default clock factory: every clock is ``time.perf_counter``."""
+    return time.perf_counter
+
+
+class TickingClock:
+    """Deterministic fake clock: starts at ``start``, advances ``tick``/call."""
+
+    def __init__(self, tick: float = 1.0, start: float = 0.0) -> None:
+        self.tick = tick
+        self._now = start
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self.tick
+        return now
+
+
+class TickingClockFactory:
+    """Picklable factory of :class:`TickingClock` instances.
+
+    Every clock it builds starts at zero, so a run measured on a fresh clock
+    produces the same span instants no matter which process executed it —
+    the fake-clock determinism tests inject this factory and compare serial
+    vs pooled ``telemetry.json`` files byte for byte.
+    """
+
+    def __init__(self, tick: float = 1.0) -> None:
+        self.tick = tick
+
+    def __call__(self) -> TickingClock:
+        return TickingClock(self.tick)
+
+
+@dataclass
+class Span:
+    """One timed region: name, static attrs, counters and child spans.
+
+    ``start``/``end`` are instants of the clock the span was measured on —
+    within one tree a single clock domain, but *different* cells of a pooled
+    campaign are measured on different (fresh) clocks, which is why the
+    exporters rebase each cell tree rather than assuming one global
+    timeline.  Plain dataclass on purpose: spans cross the pool boundary by
+    pickling.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    counters: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first in child order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree (including self)."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_payload(self) -> dict:
+        """JSON-able dict with deterministically ordered keys and children."""
+        return {
+            "name": self.name,
+            "attrs": {key: self.attrs[key] for key in sorted(self.attrs)},
+            "start": self.start,
+            "end": self.end,
+            "counters": {key: self.counters[key] for key in sorted(self.counters)},
+            "children": [child.to_payload() for child in self.children],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            start=payload.get("start", 0.0),
+            end=payload.get("end"),
+            counters=dict(payload.get("counters", {})),
+            children=[cls.from_payload(c) for c in payload.get("children", [])],
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by the disabled telemetry."""
+
+    __slots__ = ()
+    duration = 0.0
+    attrs: dict = {}
+    counters: dict = {}
+    children: list = []
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """A span recorder: open spans with :meth:`span`, read trees off
+    :attr:`roots`.
+
+    Parameters
+    ----------
+    clock_factory:
+        Zero-arg callable returning a zero-arg monotonic clock.  Must be
+        picklable when campaigns run pooled (module-level function or a
+        picklable instance like :class:`TickingClockFactory`): the campaign
+        runner ships it to the workers so every cell — serial or pooled — is
+        measured on a fresh clock from the same factory.
+    """
+
+    enabled = True
+
+    def __init__(self, clock_factory: Callable[[], Callable[[], float]] | None = None) -> None:
+        self.clock_factory = clock_factory or perf_counter_factory
+        self._clock = self.clock_factory()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, /, **attrs):
+        """Open a child span of the current span (or a new root)."""
+        span = Span(name=name, attrs=attrs, start=self._clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self._clock()
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        """Add to the current span's counter (no-op outside any span)."""
+        if self._stack:
+            self._stack[-1].count(name, value)
+
+    def record(self, name: str, /, **attrs) -> Span:
+        """A closed, *detached* span (both clock reads happen immediately).
+
+        Used for instants that need a span-shaped record without timing a
+        region — e.g. the campaign runner synthesises one ``cell`` span per
+        cache hit.  Attach it with :meth:`adopt`.
+        """
+        span = Span(name=name, attrs=attrs, start=self._clock())
+        span.end = self._clock()
+        return span
+
+    def adopt(self, span: Span, parent: Span | None = None) -> None:
+        """Attach a detached span tree under ``parent`` (default: current
+        span, or as a new root) — the pooled-campaign stitch."""
+        target = parent if parent is not None else self.current
+        if target is None:
+            self.roots.append(span)
+        else:
+            target.children.append(span)
+
+    def fresh_clock(self) -> Callable[[], float]:
+        """A new clock from the factory (one per campaign cell)."""
+        return self.clock_factory()
+
+
+class _DisabledTelemetry(Telemetry):
+    """The default-off telemetry: every operation is a cheap no-op.
+
+    Code paths take a telemetry parameter defaulting to ``None`` and
+    substitute this singleton, so the instrumented stack runs with a handful
+    of no-op calls per *run* (never per step) — the ``bench_perf_core``
+    speedup gate is unaffected.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock_factory = None  # type: ignore[assignment]
+        self.roots = []
+        self._stack = []
+
+    @contextmanager
+    def span(self, name: str, /, **attrs):
+        yield _NULL_SPAN
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        pass
+
+    def record(self, name: str, /, **attrs):
+        return _NULL_SPAN
+
+    def adopt(self, span, parent=None) -> None:
+        pass
+
+    def fresh_clock(self):
+        return None
+
+
+#: Module-level disabled singleton: ``telemetry or DISABLED`` is the idiom.
+DISABLED = _DisabledTelemetry()

@@ -39,7 +39,10 @@ from repro.campaign.spec import (
     SyntheticWorkloadRef,
     WorkloadRef,
 )
+from repro.obs.log import get_logger
 from repro.workload.generator import AppMixEntry, SizeMixEntry, WorkloadSpec
+
+_log = get_logger("results.store")
 
 #: Default persistent location (gitignored; see ``.gitignore``).
 DEFAULT_STORE_ROOT = Path("benchmarks") / "results" / "store"
@@ -257,6 +260,7 @@ class ResultStore:
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
         tmp.replace(path)
+        _log.debug("put %s (%s)", key[:12], row.run.cell_id)
         return path
 
     def _read_entry(self, key: str) -> StoreEntry:
@@ -311,6 +315,15 @@ class ResultStore:
         if not dry_run:
             for key in doomed:
                 self.remove(key)
+                _log.debug("gc removed %s", key[:12])
+        _log.info(
+            "gc %s %d of %d entr%s in %s",
+            "would remove" if dry_run else "removed",
+            len(doomed),
+            len(self.keys()) + (0 if dry_run else len(doomed)),
+            "y" if len(doomed) == 1 else "ies",
+            self.root,
+        )
         return doomed
 
     @staticmethod
@@ -360,4 +373,5 @@ class ResultStore:
             tmp.write_text(data)
             tmp.replace(target)
             copied += 1
+        _log.info("merged %d entr%s from %s", copied, "y" if copied == 1 else "ies", other.root)
         return copied

@@ -35,7 +35,10 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.campaign.spec import RunSpec
 from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.obs.log import get_logger
 from repro.results.store import content_key, spec_contents, spec_from_contents
+
+_log = get_logger("traces.store")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.workload.runner import ScenarioResult
@@ -213,6 +216,9 @@ class TraceStore:
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
         tmp.write_bytes(buffer.getvalue())
         tmp.replace(path)
+        _log.debug(
+            "put %s (%s, %d step record(s))", key[:12], run.cell_id, len(tracer)
+        )
         return path
 
     def load(self, key: str) -> TraceEntry:
@@ -260,6 +266,14 @@ class TraceStore:
         if not dry_run:
             for key in doomed:
                 self.remove(key)
+                _log.debug("gc removed %s", key[:12])
+        _log.info(
+            "gc %s %d of %d artifact(s) in %s",
+            "would remove" if dry_run else "removed",
+            len(doomed),
+            len(self.keys()) + (0 if dry_run else len(doomed)),
+            self.root,
+        )
         return doomed
 
     def merge(self, other: "TraceStore", overwrite: bool = False) -> int:
@@ -292,4 +306,5 @@ class TraceStore:
             tmp.write_bytes(data)
             tmp.replace(target)
             copied += 1
+        _log.info("merged %d artifact(s) from %s", copied, other.root)
         return copied

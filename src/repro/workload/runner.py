@@ -108,6 +108,12 @@ class ScenarioResult:
     #: Engine events dispatched during the run (perf-harness throughput
     #: denominator; not part of any serialised artifact).
     events_executed: int = 0
+    #: Per-rank step advances across all jobs (telemetry counter; a step
+    #: advanced for three ranks counts three).
+    steps_advanced: int = 0
+    #: Batched wakes of the fast path (0 when ``batching=False`` ran the
+    #: single-step reference loop).
+    batches_executed: int = 0
 
     def job(self, label: str) -> Job:
         return self.jobs[label]
@@ -202,6 +208,8 @@ class ScenarioRunner:
             end_time=state.engine.now,
             job_stats=state.job_stats,
             events_executed=state.engine.events_executed,
+            steps_advanced=state.steps_advanced,
+            batches_executed=state.batches_executed,
         )
 
 
@@ -265,6 +273,11 @@ class _RunState:
         self.workload_jobs_by_id: dict[int, WorkloadJob] = {}
         self.executions: dict[int, JobExecution] = {}
         self.job_stats: dict[str, list[ProcessStats]] = {}
+        # -- telemetry counters (observational only; never read back) ------
+        #: Per-rank step advances across all jobs.
+        self.steps_advanced = 0
+        #: Batched wakes of the fast path (stays 0 in the reference loop).
+        self.batches_executed = 0
         # -- batching bookkeeping (see _execute_batched) ------------------
         #: Submit instants not yet fired, ascending — static fences.
         self._pending_submits: list[float] = []
@@ -474,6 +487,7 @@ class _RunState:
                 )
                 node_stats.record_ownership(rank.process.spec.pid, nthreads, step_duration)
                 rank.plan.advance()
+                self.steps_advanced += 1
         self._complete(execution)
 
     def _batch_horizon(self, job_id: int) -> float | None:
@@ -569,6 +583,7 @@ class _RunState:
             batch_end = boundaries[-1]
             self._fences[job_id] = completion
             self._batch_end[job_id] = batch_end
+            self.batches_executed += 1
 
             yield engine.advance_until(batch_end)
 
@@ -751,6 +766,7 @@ class _RunState:
                     rank.process.spec.pid, stats_entries
                 )
                 plan.advance_many(k)
+                self.steps_advanced += k
         self._complete(execution)
 
     def _interference(self, execution: JobExecution, rank: RankExecution) -> float:
