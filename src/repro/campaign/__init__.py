@@ -35,6 +35,8 @@ from repro.campaign.runner import (
     CampaignResult,
     RunMetrics,
     execute_run,
+    execute_runs,
+    resume_campaign,
     run_campaign,
     run_scenario_pair,
     summarise_run,
@@ -55,6 +57,8 @@ __all__ = [
     "CampaignResult",
     "RunMetrics",
     "execute_run",
+    "execute_runs",
+    "resume_campaign",
     "run_campaign",
     "run_scenario_pair",
     "summarise_run",

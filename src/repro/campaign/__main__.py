@@ -86,6 +86,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "and 'python -m repro.results merge' to "
                             "distribute a sweep")
 
+    dist = parser.add_argument_group("distributed execution")
+    dist.add_argument("--executor", action="append", default=None, metavar="SPEC",
+                      help="execute cells on an executor backend instead of "
+                           "--workers: 'local:N' (N persistent worker "
+                           "processes), 'ssh:HOST[:SLOTS]' (stream cells to a "
+                           "remote worker over SSH; empty HOST = loopback "
+                           "subprocess), or 'slurm:DIR' (write array-job "
+                           "scripts into DIR; see --submit). Repeat the flag "
+                           "to orchestrate several backends at once — cells "
+                           "are dealt to whichever executor has a free slot")
+    dist.add_argument("--manifest", default=None, metavar="PATH",
+                      help="journal the campaign into an append-only JSONL "
+                           "manifest (cell intent + completions); a crashed "
+                           "campaign restarts with --resume PATH")
+    dist.add_argument("--resume", default=None, metavar="MANIFEST",
+                      help="resume a campaign from its manifest: the run list "
+                           "is rebuilt from the journal (grid flags are "
+                           "ignored) and only cells missing from the store "
+                           "tiers re-execute; requires --store")
+    dist.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                      help="per-cell timeout in seconds on the orchestrated "
+                           "path (timed-out cells retry; default none)")
+    dist.add_argument("--retries", type=int, default=2,
+                      help="extra attempts per cell on transient executor "
+                           "failures (default 2)")
+    dist.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                      help="base retry backoff in seconds, doubled per "
+                           "attempt (default 0.5)")
+    dist.add_argument("--submit", action="store_true",
+                      help="with --executor slurm:DIR, submit the generated "
+                           "scripts via sbatch (afterok-chained summarize "
+                           "job included); without it the scripts are only "
+                           "written for inspection or manual submission")
+
     obs = parser.add_argument_group("observability")
     obs.add_argument("--progress", action="store_true",
                      help="repaint a live done/total | cache hits | cells/s | "
@@ -217,6 +251,72 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+def _parse_executors(tokens: list[str]) -> list:
+    """Build orchestrator-driven executors from ``--executor`` specs
+    (``slurm:`` specs are handled separately — they are batch submissions,
+    not orchestrator backends)."""
+    from repro.exec import LocalPoolExecutor, SSHExecutor
+
+    executors = []
+    for token in tokens:
+        kind, _, rest = token.partition(":")
+        if kind == "local":
+            executors.append(LocalPoolExecutor(slots=int(rest) if rest else None))
+        elif kind == "ssh":
+            host, _, slots = rest.partition(":")
+            executors.append(
+                SSHExecutor(
+                    host=host or None,
+                    slots=int(slots) if slots else 1,
+                    shared_filesystem=host == "",
+                )
+            )
+        else:
+            raise ValueError(
+                f"unknown executor spec {token!r} (expected local:N, "
+                "ssh:HOST[:SLOTS] or slurm:DIR)"
+            )
+    return executors
+
+
+def _slurm_main(args: argparse.Namespace, spec: CampaignSpec, directory: str) -> int:
+    """The ``--executor slurm:DIR`` path: prepare (and optionally submit)
+    a chunked array-job campaign instead of orchestrating live cells."""
+    import sys as _sys
+    from pathlib import Path
+
+    import repro
+    from repro.exec import SlurmArrayExecutor
+
+    if not directory:
+        raise ValueError("the slurm executor needs a submission directory: "
+                         "--executor slurm:DIR")
+    if args.store is None:
+        raise ValueError("--executor slurm:DIR requires --store (a root the "
+                         "compute nodes share)")
+    slurm = SlurmArrayExecutor(
+        directory,
+        store_root=args.store,
+        trace_root=args.trace_store,
+        python=_sys.executable,
+        repo_root=Path(repro.__file__).resolve().parents[2],
+    )
+    runs = spec.expand()
+    submission = slurm.prepare(spec.name, runs)
+    print(
+        f"slurm submission prepared in {submission.directory}: "
+        f"{submission.total} cell(s) in {len(submission.chunks)} array "
+        f"job(s) + summarize ({submission.summarize_path.name})"
+    )
+    if args.submit:
+        job_ids = slurm.submit(submission)
+        print(f"submitted: jobs {', '.join(job_ids[:-1])}, summarize {job_ids[-1]}")
+    else:
+        print("dry run (no --submit): inspect the scripts, then sbatch them "
+              "or re-run with --submit")
+    return 0
+
+
 def _select_shard(spec: CampaignSpec, shard: str) -> CampaignSpec:
     """Resolve a ``K/N`` shard selector against ``spec.shard(N)``."""
     k_text, _, n_text = shard.partition("/")
@@ -239,20 +339,47 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure(args.log_level)
+    executor_tokens = args.executor or []
+    slurm_tokens = [t for t in executor_tokens if t.partition(":")[0] == "slurm"]
+    spec = None
     try:
-        spec = build_spec(args)
-        if args.shard is not None:
-            spec = _select_shard(spec, args.shard)
+        if slurm_tokens and len(executor_tokens) > 1:
+            raise ValueError(
+                "slurm:DIR is a batch submission and cannot be mixed with "
+                "other --executor specs"
+            )
+        if slurm_tokens and args.resume is not None:
+            raise ValueError(
+                "--executor slurm:DIR cannot be combined with --resume; "
+                "resume locally (the summarize job does exactly that)"
+            )
+        executors = _parse_executors(
+            [t for t in executor_tokens if t not in slurm_tokens]
+        ) or None
+        if args.resume is None:
+            # A resume rebuilds its run list from the manifest; the grid
+            # flags only matter on a fresh campaign.
+            spec = build_spec(args)
+            if args.shard is not None:
+                spec = _select_shard(spec, args.shard)
+        if slurm_tokens:
+            return _slurm_main(args, spec, slurm_tokens[0].partition(":")[2])
     except ValueError as exc:
-        # Bad registry names (--policies, --node-policies, --scenarios) read
-        # like any other usage error instead of a traceback.
+        # Bad registry names (--policies, --node-policies, --scenarios) and
+        # bad executor specs read like any other usage error instead of a
+        # traceback.
         parser.error(str(exc))
-    print(
-        f"campaign {spec.name!r}: {spec.nruns} runs "
-        f"({len(spec.workloads)} workloads x {len(spec.scenarios)} scenarios "
-        f"x {len(spec.policies)} policies x {len(spec.schedulers)} schedulers) "
-        f"on {args.workers} worker(s)"
-    )
+    if spec is not None:
+        backend = (
+            f"{len(executors)} executor(s)" if executors
+            else f"{args.workers} worker(s)"
+        )
+        print(
+            f"campaign {spec.name!r}: {spec.nruns} runs "
+            f"({len(spec.workloads)} workloads x {len(spec.scenarios)} scenarios "
+            f"x {len(spec.policies)} policies x {len(spec.schedulers)} schedulers) "
+            f"on {backend}"
+        )
     store = None
     if args.store is not None:
         from repro.results.store import ResultStore
@@ -268,16 +395,39 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.telemetry import Telemetry
 
         telemetry = Telemetry()
-    if args.profile is not None:
+    if args.resume is not None:
+        if store is None:
+            parser.error("--resume requires --store (the warm scan against "
+                         "it is what skips completed cells)")
+        from repro.campaign.runner import resume_campaign
+
+        result = resume_campaign(
+            args.resume,
+            store,
+            workers=args.workers,
+            trace_store=trace_store,
+            telemetry=telemetry,
+            progress=args.progress,
+            executor=executors,
+            timeout=args.cell_timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+        )
+        print(
+            f"resumed campaign {result.name!r} from {args.resume}: "
+            f"{result.executed} cell(s) re-executed, "
+            f"{result.cache_hits} already in the store"
+        )
+    elif args.profile is not None:
         # Profile the serial executor: a worker pool would hide the hot path
         # in child processes, so the sweep runs in-process under cProfile.
         import cProfile
         import pstats
 
-        if args.workers != 1:
+        if args.workers != 1 or executors:
             _log.warning(
-                "--profile forces the in-process executor; ignoring --workers=%d",
-                args.workers,
+                "--profile forces the in-process executor; ignoring "
+                "--workers/--executor"
             )
         profiler = cProfile.Profile()
         profiler.enable()
@@ -289,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
                 trace_store=trace_store,
                 telemetry=telemetry,
                 progress=args.progress,
+                manifest=args.manifest,
             )
         finally:
             profiler.disable()
@@ -303,6 +454,11 @@ def main(argv: list[str] | None = None) -> int:
             trace_store=trace_store,
             telemetry=telemetry,
             progress=args.progress,
+            executor=executors,
+            manifest=args.manifest,
+            timeout=args.cell_timeout,
+            retries=args.retries,
+            backoff=args.backoff,
         )
     if telemetry is not None:
         from repro.obs.export import write_chrome_trace, write_summary

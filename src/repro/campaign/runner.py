@@ -29,10 +29,8 @@ directly instead of going through the compact aggregation.
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 from dataclasses import dataclass
-from functools import partial
 from typing import TYPE_CHECKING, Iterable, TextIO
 
 from repro.campaign.spec import CampaignSpec, RunSpec, WorkloadRef
@@ -346,80 +344,118 @@ class CampaignResult:
         return table
 
 
-def run_campaign(
-    spec: CampaignSpec,
+def _as_executors(executor) -> "list | None":
+    """Normalise ``run_campaign``'s ``executor=`` argument: ``None``, one
+    :class:`~repro.exec.base.Executor`, or a sequence of them."""
+    if executor is None:
+        return None
+    from repro.exec.base import Executor
+
+    if isinstance(executor, Executor):
+        return [executor]
+    executors = list(executor)
+    if not executors:
+        return None
+    for candidate in executors:
+        if not isinstance(candidate, Executor):
+            raise TypeError(f"not an Executor: {candidate!r}")
+    return executors
+
+
+def _as_manifest(manifest):
+    """Normalise ``manifest=``: ``None``, a path, or a ``CampaignManifest``."""
+    if manifest is None:
+        return None
+    from repro.exec.manifest import CampaignManifest
+
+    if isinstance(manifest, CampaignManifest):
+        return manifest
+    return CampaignManifest(manifest)
+
+
+def execute_runs(
+    name: str,
+    runs: Iterable[RunSpec],
     workers: int = 1,
     store: "ResultStore | None" = None,
     sinks: Iterable["TraceSink"] = (),
     trace_store: "TraceStore | None" = None,
     telemetry: Telemetry | None = None,
     progress: "bool | TextIO" = False,
+    executor=None,
+    manifest=None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
 ) -> CampaignResult:
-    """Execute every run of ``spec`` and aggregate the metrics.
-
-    ``workers=1`` executes in-process; ``workers>1`` fans the runs out over a
-    ``multiprocessing`` pool.  Both paths return identical results for the
-    same spec: each run is a pure function of its :class:`RunSpec` and rows
-    are aggregated in run-index order regardless of completion order.
-
-    ``store`` memoises execution on the run's content hash: cells already in
-    the :class:`~repro.results.store.ResultStore` are served from it (no
-    simulation), only the misses execute, and fresh rows are written back.
-    Because stored rows are rebound to the requesting grid index and
-    aggregation stays in run-index order, a warm campaign is byte-identical
-    to a cold one.
-
-    ``trace_store`` adds the second tier: every run that executes does so
-    with tracing on and persists its full tracer under the same content key
-    (:class:`~repro.traces.store.TraceStore`).  A run skips execution only
-    when **both** tiers hit — a metrics hit whose trace artifact is missing
-    (or stale-format) re-simulates to backfill the trace, which re-derives
-    the identical row (runs are pure functions of their specs).  The result's
-    :attr:`~CampaignResult.metrics_hits` / :attr:`~CampaignResult.trace_hits`
-    / :attr:`~CampaignResult.backfilled` break the scan down per tier.
-
-    ``sinks`` receive the full :class:`~repro.workload.runner.ScenarioResult`
-    of every run that actually executes (cache hits carry no tracer, so they
-    are not re-exported).
-
-    ``telemetry`` records the campaign's span tree: one ``campaign`` root
-    whose children are the per-cell trees in run-index order (cache hits
-    appear as closed ``cell`` spans marked ``cached=True``).  ``progress``
-    (``True`` for stderr, or any writable stream) repaints a live
-    done/total | hits | cells/s | ETA line as cells complete.
-    """
+    """Execute an explicit run list and aggregate the metrics — the core
+    both :func:`run_campaign` (expanded spec) and :func:`resume_campaign`
+    (manifest replay) drive.  See :func:`run_campaign` for the full
+    parameter contract."""
     if workers <= 0:
         raise ValueError("workers must be positive")
-    runs = spec.expand()
+    runs = list(runs)
     sinks = tuple(sinks)
+    executors = _as_executors(executor)
+    journal = _as_manifest(manifest)
     obs = telemetry if telemetry is not None else DISABLED
+    clock_factory = obs.clock_factory if obs.enabled else None
     stream = sys.stderr if progress is True else (progress or None)
     line = ProgressLine(len(runs), stream) if stream is not None else None
     _log.info(
-        "campaign %r: %d runs on %d worker(s)%s%s",
-        spec.name,
+        "campaign %r: %d runs on %s%s%s%s",
+        name,
         len(runs),
-        workers,
+        f"{len(executors)} executor(s)" if executors else f"{workers} worker(s)",
         f", store={store.root}" if store is not None else "",
         f", trace_store={trace_store.root}" if trace_store is not None else "",
+        f", manifest={journal.path}" if journal is not None else "",
     )
+
+    # The warm scan needs every cell's content key; compute each exactly
+    # once (they also key the manifest journal and the store writes).
+    keys: dict[int, str] = {}
+    if store is not None or trace_store is not None or journal is not None:
+        from repro.results.store import content_key
+
+        keys = {run.index: content_key(run) for run in runs}
+    if journal is not None:
+        from repro.exec.manifest import DONE, FAILED
+
+        journal.begin(name, runs)
+    # One directory listing per tier for the whole scan, instead of one
+    # filesystem probe per cell per tier; membership is name-level, so hits
+    # are still validated by the per-entry read below.
+    store_keys = store.scan() if store is not None else frozenset()
+    trace_keys = trace_store.scan() if trace_store is not None else frozenset()
 
     rows_by_index: dict[int, RunMetrics] = {}
     spans_by_index: dict[int, Span] = {}
     #: index -> (metrics_hit, trace_hit) of the cache scan, annotated onto
     #: the executed cells' spans after stitching.
     tier_state: dict[int, tuple[bool, bool]] = {}
-    with obs.span("campaign", name=spec.name, runs=len(runs)) as campaign:
+    with obs.span("campaign", name=name, runs=len(runs)) as campaign:
         misses = []
         metrics_hits = trace_hits = backfilled = 0
         for run in runs:
-            cached = store.get(run) if store is not None else None
-            trace_hit = trace_store is not None and run in trace_store
+            key = keys.get(run.index)
+            cached = (
+                store.get(run, key)
+                if store is not None and key in store_keys
+                else None
+            )
+            trace_hit = (
+                trace_store is not None
+                and key in trace_keys
+                and trace_store.get(run, key) is not None
+            )
             metrics_hits += cached is not None
             trace_hits += trace_hit
             tier_state[run.index] = (cached is not None, trace_hit)
             if cached is not None and (trace_store is None or trace_hit):
                 rows_by_index[run.index] = cached
+                if journal is not None:
+                    journal.record(key, DONE, index=run.index, cached=True)
                 if obs.enabled:
                     span = obs.record(
                         "cell", index=run.index, run_id=run.run_id, cached=True
@@ -439,35 +475,136 @@ def run_campaign(
                         "to backfill the trace tier", run.index,
                     )
                 misses.append(run)
-        worker = partial(
-            _execute_and_summarise,
-            sinks=sinks,
-            trace_store=trace_store,
-            store=store,
-            clock_factory=obs.clock_factory if obs.enabled else None,
-        )
 
-        def collect(results) -> None:
+        def collect(results, journal_as: str | None = None, advance: bool = True) -> None:
             for row, span in results:
                 rows_by_index[row.run.index] = row
                 if span is not None:
                     spans_by_index[row.run.index] = span
                 _log.debug("cell %04d: simulated", row.run.index)
-                if line is not None:
+                if journal is not None and journal_as is not None:
+                    journal.record(
+                        keys[row.run.index],
+                        DONE,
+                        index=row.run.index,
+                        executor=journal_as,
+                    )
+                if line is not None and advance:
                     line.advance()
 
         try:
             if not misses:
                 pass
+            elif executors is not None:
+                from repro.exec.base import WorkerContext
+                from repro.exec.orchestrator import orchestrate
+
+                context = WorkerContext(
+                    sinks=sinks,
+                    store=store,
+                    trace_store=trace_store,
+                    clock_factory=clock_factory,
+                )
+
+                def on_done(run, row, executor_name) -> None:
+                    if journal is not None:
+                        journal.record(
+                            keys[run.index],
+                            DONE,
+                            index=run.index,
+                            executor=executor_name,
+                        )
+                    if line is not None:
+                        line.advance()
+
+                def on_failed(run, reason, executor_name) -> None:
+                    if journal is not None:
+                        journal.record(
+                            keys[run.index],
+                            FAILED,
+                            index=run.index,
+                            executor=executor_name,
+                            error=reason,
+                        )
+
+                def on_status(in_flight, queue_depth) -> None:
+                    if line is not None:
+                        busy = " ".join(
+                            f"{name}:{n}" for name, n in in_flight.items()
+                        )
+                        line.set_status(
+                            f"in flight {busy or '-'} | queued {queue_depth}"
+                        )
+
+                outcome = orchestrate(
+                    misses,
+                    executors,
+                    context,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=backoff,
+                    on_done=on_done,
+                    on_failed=on_failed,
+                    on_status=on_status,
+                )
+                collect(outcome.results, advance=False)
+                if obs.enabled:
+                    # One closed span per executor with its dispatch
+                    # accounting — pure bookkeeping of the orchestration,
+                    # adopted before the cell stitch so the tree layout is
+                    # deterministic.
+                    for stat in outcome.stats.values():
+                        span = obs.record(
+                            "executor",
+                            name=stat.name,
+                            slots=stat.slots,
+                            died=stat.died,
+                        )
+                        span.count("dispatched", stat.dispatched)
+                        span.count("completed", stat.completed)
+                        span.count("retried", stat.retried)
+                        span.count("requeued", stat.requeued)
+                        span.count("timeouts", stat.timeouts)
+                        span.count("max_in_flight", stat.max_in_flight)
+                        obs.adopt(span, parent=campaign)
+                    campaign.count("max_queue_depth", outcome.max_queue_depth)
             elif workers == 1:
-                collect(map(worker, misses))
+                collect(
+                    (
+                        _execute_and_summarise(
+                            run,
+                            sinks=sinks,
+                            trace_store=trace_store,
+                            store=store,
+                            clock_factory=clock_factory,
+                        )
+                        for run in misses
+                    ),
+                    journal_as="serial",
+                )
             else:
-                # chunksize=1 keeps the work spread even when run times are
-                # skewed; rows are keyed by run index, so the unordered
-                # completion stream (which lets the progress line advance as
-                # cells land) still aggregates deterministically.
-                with multiprocessing.Pool(processes=min(workers, len(misses))) as pool:
-                    collect(pool.imap_unordered(worker, misses, chunksize=1))
+                # The worker pool ships the invariant context (sinks, store
+                # tiers, clock factory) once through its initializer; per
+                # cell only the RunSpec is pickled.  chunksize=1 keeps the
+                # work spread even when run times are skewed; rows are keyed
+                # by run index, so the unordered completion stream (which
+                # lets the progress line advance as cells land) still
+                # aggregates deterministically.
+                from repro.exec.base import WorkerContext
+                from repro.exec.local import pool_worker, worker_pool
+
+                context = WorkerContext(
+                    sinks=sinks,
+                    store=store,
+                    trace_store=trace_store,
+                    clock_factory=clock_factory,
+                )
+                processes = min(workers, len(misses))
+                with worker_pool(processes, context) as pool:
+                    collect(
+                        pool.imap_unordered(pool_worker, misses, chunksize=1),
+                        journal_as=f"pool[{processes}]",
+                    )
         finally:
             if line is not None:
                 line.finish()
@@ -495,17 +632,154 @@ def run_campaign(
             campaign.count("backfilled", backfilled)
     _log.info(
         "campaign %r done: %d simulated, %d served from store",
-        spec.name,
+        name,
         len(misses),
         len(runs) - len(misses),
     )
     rows = tuple(rows_by_index[run.index] for run in runs)
     return CampaignResult(
-        name=spec.name,
+        name=name,
         rows=rows,
         cache_hits=len(runs) - len(misses),
         executed=len(misses),
         metrics_hits=metrics_hits,
         trace_hits=trace_hits,
         backfilled=backfilled,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    store: "ResultStore | None" = None,
+    sinks: Iterable["TraceSink"] = (),
+    trace_store: "TraceStore | None" = None,
+    telemetry: Telemetry | None = None,
+    progress: "bool | TextIO" = False,
+    executor=None,
+    manifest=None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+) -> CampaignResult:
+    """Execute every run of ``spec`` and aggregate the metrics.
+
+    ``workers=1`` executes in-process; ``workers>1`` fans the runs out over a
+    ``multiprocessing`` pool whose workers receive the invariant campaign
+    context once through the pool initializer.  ``executor`` overrides both:
+    one :class:`~repro.exec.base.Executor` (or a list of them — e.g. a local
+    pool plus two SSH hosts) dealt cells by the asyncio orchestrator
+    (:mod:`repro.exec.orchestrator`), with per-cell ``timeout``, bounded
+    ``retries`` with exponential ``backoff``, and graceful degradation when
+    a backend dies.  All paths return identical results for the same spec:
+    each run is a pure function of its :class:`RunSpec` and rows are
+    aggregated in run-index order regardless of completion order.
+
+    ``store`` memoises execution on the run's content hash: cells already in
+    the :class:`~repro.results.store.ResultStore` are served from it (no
+    simulation), only the misses execute, and fresh rows are written back.
+    Because stored rows are rebound to the requesting grid index and
+    aggregation stays in run-index order, a warm campaign is byte-identical
+    to a cold one.
+
+    ``trace_store`` adds the second tier: every run that executes does so
+    with tracing on and persists its full tracer under the same content key
+    (:class:`~repro.traces.store.TraceStore`).  A run skips execution only
+    when **both** tiers hit — a metrics hit whose trace artifact is missing
+    (or stale-format) re-simulates to backfill the trace, which re-derives
+    the identical row (runs are pure functions of their specs).  The result's
+    :attr:`~CampaignResult.metrics_hits` / :attr:`~CampaignResult.trace_hits`
+    / :attr:`~CampaignResult.backfilled` break the scan down per tier.
+
+    ``manifest`` (a path or :class:`~repro.exec.manifest.CampaignManifest`)
+    journals the campaign as an append-only JSONL record of intent and
+    completion — what :func:`resume_campaign` replays after a crash so only
+    the cells missing from the store tiers re-execute.
+
+    ``sinks`` receive the full :class:`~repro.workload.runner.ScenarioResult`
+    of every run that actually executes (cache hits carry no tracer, so they
+    are not re-exported).
+
+    ``telemetry`` records the campaign's span tree: one ``campaign`` root
+    whose children are the per-cell trees in run-index order (cache hits
+    appear as closed ``cell`` spans marked ``cached=True``; orchestrated
+    campaigns prepend one ``executor`` accounting span per backend).
+    ``progress`` (``True`` for stderr, or any writable stream) repaints a
+    live done/total | hits | cells/s | ETA line as cells complete, with
+    per-executor in-flight counts when orchestrating.
+    """
+    return execute_runs(
+        spec.name,
+        spec.expand(),
+        workers=workers,
+        store=store,
+        sinks=sinks,
+        trace_store=trace_store,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
+        manifest=manifest,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+    )
+
+
+def resume_campaign(
+    manifest,
+    store: "ResultStore",
+    workers: int = 1,
+    sinks: Iterable["TraceSink"] = (),
+    trace_store: "TraceStore | None" = None,
+    telemetry: Telemetry | None = None,
+    progress: "bool | TextIO" = False,
+    executor=None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+) -> CampaignResult:
+    """Resume a crashed or partially executed campaign from its manifest.
+
+    The manifest is self-contained (every cell's canonical spec contents are
+    journalled with its ``pending`` line), so no campaign grid flags are
+    needed: the run list is rebuilt from the journal, and the normal warm
+    scan against ``store`` (and ``trace_store`` if given) decides what still
+    executes — **only the cells whose content keys are missing from the
+    store tiers re-run**, regardless of what states the journal last saw.
+    Completions are journalled back into the same manifest, so resuming is
+    idempotent and re-entrant.
+    """
+    journal = _as_manifest(manifest)
+    if journal is None:
+        raise ValueError("resume requires a manifest path")
+    if store is None:
+        raise ValueError(
+            "resume requires the campaign's result store — without it every "
+            "cell would re-execute"
+        )
+    state = journal.replay()
+    if not state.cells:
+        raise ValueError(f"manifest {journal.path} records no cells")
+    runs = state.runs()
+    _log.info(
+        "resuming campaign %r from %s: %d journalled cell(s), %d marked done",
+        state.name,
+        journal.path,
+        len(runs),
+        len(state.done),
+    )
+    return execute_runs(
+        state.name,
+        runs,
+        workers=workers,
+        store=store,
+        sinks=sinks,
+        trace_store=trace_store,
+        telemetry=telemetry,
+        progress=progress,
+        executor=executor,
+        manifest=journal,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
     )

@@ -35,8 +35,10 @@ class ProgressLine:
         self.done = 0
         self.hits = 0
         self.executed = 0
+        self.status = ""
         self._clock = clock
         self._t0 = clock()
+        self._last_width = 0
 
     def advance(self, cached: bool = False) -> None:
         """Mark one cell done (``cached=True`` for store-served cells)."""
@@ -45,6 +47,12 @@ class ProgressLine:
             self.hits += 1
         else:
             self.executed += 1
+        self._render()
+
+    def set_status(self, status: str) -> None:
+        """Set the free-form trailing segment (e.g. per-executor in-flight
+        counts from the orchestrator) and repaint."""
+        self.status = status
         self._render()
 
     def _eta_text(self) -> str:
@@ -63,10 +71,17 @@ class ProgressLine:
         rate = self.executed / elapsed if elapsed > 0 else 0.0
         pct = 100.0 * self.done / self.total if self.total else 100.0
         line = (
-            f"\r{self.label} {self.done}/{self.total} ({pct:3.0f}%) | "
+            f"{self.label} {self.done}/{self.total} ({pct:3.0f}%) | "
             f"{self.hits} cache hit(s) | {rate:.1f} cells/s | ETA {self._eta_text()}"
         )
-        self.stream.write(line)
+        if self.status:
+            line += f" | {self.status}"
+        # Pad to the widest line painted so far, so a shrinking status never
+        # leaves stale characters behind the cursor.
+        width = len(line)
+        line = line.ljust(self._last_width)
+        self._last_width = width
+        self.stream.write("\r" + line)
         if hasattr(self.stream, "flush"):
             self.stream.flush()
 

@@ -185,6 +185,14 @@ def _metrics_from_payload(run: RunSpec, payload: dict) -> RunMetrics:
     )
 
 
+#: Public aliases for the executor transport (:mod:`repro.exec.worker`), which
+#: ships :class:`RunMetrics` rows as JSON across subprocess/SSH boundaries
+#: using exactly the store's serialisation (floats via ``repr``, so rows
+#: survive the round trip byte-for-byte).
+metrics_to_payload = _metrics_to_payload
+metrics_from_payload = _metrics_from_payload
+
+
 # -- the store ------------------------------------------------------------------------
 
 
@@ -216,25 +224,42 @@ class ResultStore:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def keys(self) -> list[str]:
+    def scan(self) -> frozenset[str]:
+        """Every key present, from a **single** directory listing.
+
+        The campaign warm-scan and :meth:`merge` probe membership for N
+        cells; checking ``content_key(run) in store.scan()`` costs one
+        ``listdir`` total instead of N per-key filesystem probes.  Presence
+        is name-level only — readers still validate format on access, so a
+        scanned key can turn out to be a miss when its entry is stale.
+        """
         if not self.root.is_dir():
-            return []
-        return sorted(path.stem for path in self.root.glob("*.json"))
+            return frozenset()
+        suffix = ".json"
+        return frozenset(
+            name[: -len(suffix)]
+            for name in os.listdir(self.root)
+            if name.endswith(suffix) and not name.startswith(".")
+        )
+
+    def keys(self) -> list[str]:
+        return sorted(self.scan())
 
     def __len__(self) -> int:
-        return len(self.keys())
+        return len(self.scan())
 
     def __contains__(self, run: RunSpec) -> bool:
         return self.path_for(content_key(run)).exists()
 
     # -- read/write --------------------------------------------------------------
 
-    def get(self, run: RunSpec) -> RunMetrics | None:
+    def get(self, run: RunSpec, key: str | None = None) -> RunMetrics | None:
         """The stored row of ``run``'s cell, rebound to ``run``'s grid index,
         or ``None`` on a miss (including unreadable, old-format or otherwise
         malformed entries — a bad cache entry must mean "re-simulate", never
-        abort the campaign)."""
-        path = self.path_for(content_key(run))
+        abort the campaign).  ``key`` is an optional precomputed
+        ``content_key(run)`` so batch scans hash each spec once."""
+        path = self.path_for(key if key is not None else content_key(run))
         try:
             payload = json.loads(path.read_text())
             if payload.get("version") != STORE_FORMAT_VERSION:
@@ -351,17 +376,19 @@ class ResultStore:
         post-bump entry.
         """
         copied = 0
-        for key in other.keys():
+        present = self.scan()
+        for key in sorted(other.scan()):
             target = self.path_for(key)
-            if not overwrite:
+            if not overwrite and key in present:
                 # Check the local side first: a warm re-merge (coordinator
                 # re-running after each shard lands) then skips without ever
-                # reading the source store.
+                # reading the source store — and the single-pass scan above
+                # means absent keys cost no filesystem probe at all.
                 try:
                     if self._is_current_entry(target.read_text()):
                         continue
                 except OSError:
-                    pass  # absent or unreadable: the incoming entry wins
+                    pass  # unreadable: the incoming entry wins
             try:
                 data = other.path_for(key).read_text()
             except OSError:

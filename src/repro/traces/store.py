@@ -130,15 +130,28 @@ class TraceStore:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
 
-    def keys(self) -> list[str]:
+    def scan(self) -> frozenset[str]:
+        """Every key present, from a **single** directory listing.
+
+        Mirrors :meth:`ResultStore.scan`: the campaign warm-scan checks N
+        cells against this set (one ``listdir`` total) and only header-reads
+        the members, instead of probing the filesystem once per cell.
+        Presence is name-level only — a scanned key can still be a miss if
+        its artifact is stale or unreadable.
+        """
         if not self.root.is_dir():
-            return []
-        return sorted(
-            path.name[: -len(_SUFFIX)] for path in self.root.glob(f"*{_SUFFIX}")
+            return frozenset()
+        return frozenset(
+            name[: -len(_SUFFIX)]
+            for name in os.listdir(self.root)
+            if name.endswith(_SUFFIX) and not name.startswith(".")
         )
 
+    def keys(self) -> list[str]:
+        return sorted(self.scan())
+
     def __len__(self) -> int:
-        return len(self.keys())
+        return len(self.scan())
 
     def __contains__(self, run: RunSpec) -> bool:
         """Whether ``run``'s cell holds a readable, current-format trace."""
@@ -165,16 +178,19 @@ class TraceStore:
             )
         return header
 
-    def get(self, run: RunSpec) -> TraceEntry | None:
+    def get(self, run: RunSpec, key: str | None = None) -> TraceEntry | None:
         """The stored trace of ``run``'s cell, or ``None`` on a miss
         (including unreadable, old-format or otherwise malformed artifacts —
-        a bad cache entry must mean "re-simulate", never abort)."""
-        path = self.path_for(content_key(run))
+        a bad cache entry must mean "re-simulate", never abort).  ``key`` is
+        an optional precomputed ``content_key(run)``."""
+        if key is None:
+            key = content_key(run)
+        path = self.path_for(key)
         try:
             header = self._read_header(path)
         except _READ_ERRORS:
             return None
-        return TraceEntry(key=content_key(run), path=path, header=header)
+        return TraceEntry(key=key, path=path, header=header)
 
     def put(self, run: RunSpec, result: "ScenarioResult") -> Path:
         """Persist one executed run's full trace under its content key.
@@ -287,14 +303,15 @@ class TraceStore:
         file never shadows a current incoming one.
         """
         copied = 0
-        for key in other.keys():
+        present = self.scan()
+        for key in sorted(other.scan()):
             target = self.path_for(key)
-            if not overwrite:
+            if not overwrite and key in present:
                 try:
                     self._read_header(target)
                     continue  # current local entry wins
                 except _READ_ERRORS:
-                    pass  # absent, stale or unreadable: the incoming one wins
+                    pass  # stale or unreadable: the incoming one wins
             source = other.path_for(key)
             try:
                 other._read_header(source)
