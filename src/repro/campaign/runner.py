@@ -423,11 +423,36 @@ def execute_runs(
         from repro.exec.manifest import DONE, FAILED
 
         journal.begin(name, runs)
-    # One directory listing per tier for the whole scan, instead of one
-    # filesystem probe per cell per tier; membership is name-level, so hits
-    # are still validated by the per-entry read below.
+    # One index read per tier for the whole scan (O(1) on a warm store,
+    # one listdir + stat-diff after a write), instead of one filesystem
+    # probe per cell per tier; membership is name-level, so hits are still
+    # validated by the per-entry read below.  Index stats are snapshotted
+    # as deltas around these parent-process scans only, so serial and
+    # pooled campaigns count identically.
+    def _index_stats(tier) -> dict:
+        return dict(tier.index.stats) if tier is not None and tier.root.is_dir() else {}
+
+    store_stats0 = _index_stats(store)
+    trace_stats0 = _index_stats(trace_store)
     store_keys = store.scan() if store is not None else frozenset()
     trace_keys = trace_store.scan() if trace_store is not None else frozenset()
+    index_counts = {}
+    for tier, before, label in (
+        (store, store_stats0, "store"),
+        (trace_store, trace_stats0, "trace"),
+    ):
+        after = _index_stats(tier)
+        # A "hit" is any scan the journal served (fresh or stat-diff
+        # reconciled); only a missing/invalid journal counts as a rebuild.
+        index_counts[f"{label}_index_hits"] = (
+            after.get("hits", 0)
+            + after.get("reconciles", 0)
+            - before.get("hits", 0)
+            - before.get("reconciles", 0)
+        )
+        index_counts[f"{label}_index_rebuilds"] = (
+            after.get("rebuilds", 0) - before.get("rebuilds", 0)
+        )
 
     rows_by_index: dict[int, RunMetrics] = {}
     spans_by_index: dict[int, Span] = {}
@@ -630,6 +655,8 @@ def execute_runs(
             campaign.count("metrics_hits", metrics_hits)
             campaign.count("trace_hits", trace_hits)
             campaign.count("backfilled", backfilled)
+            for counter, value in index_counts.items():
+                campaign.count(counter, value)
     _log.info(
         "campaign %r done: %d simulated, %d served from store",
         name,

@@ -34,8 +34,10 @@ from repro.results.sinks import (
     JsonlTraceSink,
     ParaverTraceSink,
     TraceSink,
+    pcf_text,
     prv_text,
     read_jsonl_trace,
+    row_text,
     read_prv,
     run_stem,
 )
@@ -61,6 +63,8 @@ __all__ = [
     "ParaverTraceSink",
     "JsonlTraceSink",
     "prv_text",
+    "pcf_text",
+    "row_text",
     "read_prv",
     "read_jsonl_trace",
     "run_stem",

@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     ls = sub.add_parser("ls", help="list stored cells")
     ls.add_argument("--store", default=str(DEFAULT_STORE_ROOT),
                     help=f"store root (default {DEFAULT_STORE_ROOT})")
+    ls.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="print at most N rows")
+    ls.add_argument("--prefix", default=None,
+                    help="only list keys starting with this hex prefix")
 
     show = sub.add_parser("show", help="show one cell's full metrics")
     show.add_argument("key", help="content key (an unambiguous prefix is enough)")
@@ -75,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also collect entries whose workload label contains this")
     gc.add_argument("--all", action="store_true",
                     help="collect every entry")
+    gc.add_argument("--lru", type=int, default=None, metavar="BYTES",
+                    help="evict least-recently-read entries until the "
+                         "survivors total at most BYTES")
+    gc.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                    help="also collect entries whose file is older than this")
     gc.add_argument("--delete", action="store_true",
                     help="actually delete (default: dry run)")
     return parser
@@ -102,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "ls":
         store = ResultStore(args.store)
         print(f"store {store.root}: {len(store)} cell(s)")
-        print(render_store_table(store))
+        print(render_store_table(store, limit=args.limit, prefix=args.prefix))
         return 0
     if args.command == "show":
         store = ResultStore(args.store)
@@ -155,7 +164,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "gc":
         store = ResultStore(args.store)
-        removed = store.gc(_gc_predicate(args), dry_run=not args.delete)
+        removed = store.gc(
+            _gc_predicate(args),
+            dry_run=not args.delete,
+            lru_bytes=args.lru,
+            max_age=args.max_age,
+        )
         verb = "removed" if args.delete else "would remove"
         print(f"gc {store.root}: {verb} {len(removed)} entr(y/ies)")
         for key in removed:

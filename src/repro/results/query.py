@@ -22,23 +22,31 @@ def _entry_scheduler(entry: StoreEntry) -> str:
     return entry.run.scheduler.label
 
 
-def render_store_table(store: ResultStore) -> str:
-    """One row per stored cell, in key order."""
-    entries = list(store.entries())
-    if not entries:
+def render_store_table(
+    store: ResultStore, limit: int | None = None, prefix: str | None = None
+) -> str:
+    """One row per stored cell, in key order.
+
+    Served entirely from the store's index summaries — one journal read,
+    no per-cell JSON parsing — so ``ls`` stays O(changed) on warm stores
+    of any size.  ``prefix`` filters on the content key, ``limit`` caps
+    the row count after filtering.
+    """
+    summaries = store.summaries(prefix=prefix, limit=limit)
+    if not summaries:
         return f"(store {store.root} is empty)"
     rows = [
         (
-            entry.key[:12],
-            entry.contents["scenario"],
-            entry.run.workload.label,
-            entry.run.cluster.label,
-            _entry_policy(entry),
-            _entry_scheduler(entry),
-            f"{entry.metrics['total_run_time']:.3f}",
-            f"{entry.metrics['average_response_time']:.3f}",
+            item.key[:12],
+            item.summary["scenario"],
+            item.summary["workload"],
+            item.summary["cluster"],
+            item.summary["policy"],
+            item.summary["scheduler"],
+            f"{item.summary['total_run_time']:.3f}",
+            f"{item.summary['average_response_time']:.3f}",
         )
-        for entry in entries
+        for item in summaries
     ]
     return render_table(
         [

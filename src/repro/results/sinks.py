@@ -169,17 +169,85 @@ def prv_text(tracer: Tracer) -> str:
     return "\n".join(lines) + "\n"
 
 
+def pcf_text(tracer: Tracer) -> str:
+    """The ``.pcf`` configuration companion of :func:`prv_text`.
+
+    Declares the state and event-type dictionaries Paraver needs to label
+    the trace; the phase VALUES table uses the same sorted-name numbering
+    as the ``.prv`` event records, so the two files always agree.
+    """
+    phases = sorted({step.phase for step in tracer})
+    lines = [
+        "DEFAULT_OPTIONS",
+        "",
+        "LEVEL               THREAD",
+        "UNITS               MICROSEC",
+        "",
+        "STATES",
+        "0    NOT CREATED",
+        "1    RUNNING",
+        "",
+        "EVENT_TYPE",
+        f"0    {EV_THREAD_COUNT}    Thread count",
+        "",
+        "EVENT_TYPE",
+        f"0    {EV_STEP_IPC_MILLI}    Step IPC (milli)",
+        "",
+        "EVENT_TYPE",
+        f"0    {EV_STEP_PHASE}    Step phase",
+    ]
+    if phases:
+        lines.append("VALUES")
+        for i, name in enumerate(phases):
+            lines.append(f"{i + 1}    {name}")
+    return "\n".join(lines) + "\n"
+
+
+def row_text(tracer: Tracer) -> str:
+    """The ``.row`` axis-label companion of :func:`prv_text`.
+
+    Names the CPU, node and thread rows with the same numbering (sorted
+    nodes, job application order, rank+1 tasks) the ``.prv`` records use.
+    """
+    jobs = tracer.jobs()
+    nodes = sorted({step.node for step in tracer})
+    threads: list[str] = []
+    for job in jobs:
+        for rank in sorted({step.rank for step in tracer.steps(job)}):
+            width = max(step.nthreads for step in tracer.steps(job, rank))
+            threads.extend(
+                f"{job}.{rank + 1}.{thread + 1}" for thread in range(width)
+            )
+    lines = [f"LEVEL CPU SIZE {max(len(nodes), 1)}"]
+    lines.extend(nodes or ["node0"])
+    lines.append("")
+    lines.append(f"LEVEL NODE SIZE {max(len(nodes), 1)}")
+    lines.extend(nodes or ["node0"])
+    lines.append("")
+    lines.append(f"LEVEL THREAD SIZE {max(len(threads), 1)}")
+    lines.extend(threads or ["none.1.1"])
+    return "\n".join(lines) + "\n"
+
+
 @dataclass(frozen=True)
 class ParaverTraceSink:
-    """Writes one ``.prv``-style trace file per run under ``root``."""
+    """Writes one ``.prv``-style trace file per run under ``root``, with
+    its ``.pcf``/``.row`` companions so the real Paraver UI can open it.
+
+    The ``.prv`` bytes themselves are unchanged by the companions — stored
+    re-exports through :func:`prv_text` stay byte-identical to the sink's.
+    """
 
     root: str | os.PathLike
 
     def write(self, run: RunSpec, result: ScenarioResult) -> Path:
         root = Path(self.root)
         root.mkdir(parents=True, exist_ok=True)
-        path = root / f"{run_stem(run)}.prv"
+        stem = run_stem(run)
+        path = root / f"{stem}.prv"
         path.write_text(prv_text(result.tracer))
+        (root / f"{stem}.pcf").write_text(pcf_text(result.tracer))
+        (root / f"{stem}.row").write_text(row_text(result.tracer))
         return path
 
 

@@ -40,6 +40,7 @@ from repro.campaign.spec import (
     WorkloadRef,
 )
 from repro.obs.log import get_logger
+from repro.store.index import IndexEntry, StoreIndex
 from repro.workload.generator import AppMixEntry, SizeMixEntry, WorkloadSpec
 
 _log = get_logger("results.store")
@@ -193,6 +194,45 @@ metrics_to_payload = _metrics_to_payload
 metrics_from_payload = _metrics_from_payload
 
 
+# -- index summaries ------------------------------------------------------------------
+
+
+def _summarise_entry(payload: dict) -> dict | None:
+    """The render-ready fields of one entry payload — everything the ``ls``
+    table prints, precomputed once at write/index time so listings never
+    rebuild N specs."""
+    try:
+        contents = payload["run"]
+        run = spec_from_contents(contents)
+        metrics = payload["metrics"]
+        return {
+            "scenario": contents["scenario"],
+            "workload": run.workload.label,
+            "cluster": run.cluster.label,
+            "policy": contents["policy"] or "default",
+            "scheduler": run.scheduler.label,
+            "total_run_time": metrics["total_run_time"],
+            "average_response_time": metrics["average_response_time"],
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _describe_entry(path: Path) -> tuple[object, dict | None]:
+    """Index rebuild callback: a file's format version and summary, with
+    every failure mapping to "present but not renderable" — never raises."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None, None
+    if not isinstance(payload, dict):
+        return None, None
+    version = payload.get("version")
+    if version != STORE_FORMAT_VERSION:
+        return version, None
+    return version, _summarise_entry(payload)
+
+
 # -- the store ------------------------------------------------------------------------
 
 
@@ -218,6 +258,30 @@ class ResultStore:
 
     def __init__(self, root: str | os.PathLike = DEFAULT_STORE_ROOT) -> None:
         self.root = Path(root)
+        self._index: StoreIndex | None = None
+
+    def __getstate__(self) -> dict:
+        # Stores ship into pool/SSH workers (WorkerContext); the index is
+        # per-process derived state and rebuilds lazily on the other side.
+        return {"root": self.root}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self._index = None
+
+    @property
+    def index(self) -> StoreIndex:
+        """The store's append-only JSONL index (derived metadata; the entry
+        files stay the only ground truth)."""
+        if self._index is None:
+            self._index = StoreIndex(
+                self.root,
+                suffix=".json",
+                store_version=STORE_FORMAT_VERSION,
+                describe=_describe_entry,
+                kind="results",
+            )
+        return self._index
 
     # -- addressing --------------------------------------------------------------
 
@@ -225,22 +289,18 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def scan(self) -> frozenset[str]:
-        """Every key present, from a **single** directory listing.
+        """Every key present, from the index journal — O(1) filesystem work
+        on a warm store, one ``listdir`` + stat-diff after any write.
 
         The campaign warm-scan and :meth:`merge` probe membership for N
-        cells; checking ``content_key(run) in store.scan()`` costs one
-        ``listdir`` total instead of N per-key filesystem probes.  Presence
-        is name-level only — readers still validate format on access, so a
-        scanned key can turn out to be a miss when its entry is stale.
+        cells against this one set.  Presence is name-level only — readers
+        still validate format on access, so a scanned key can turn out to
+        be a miss when its entry is stale — and the index self-heals from
+        the directory whenever it is missing, torn or disagrees with it.
         """
         if not self.root.is_dir():
             return frozenset()
-        suffix = ".json"
-        return frozenset(
-            name[: -len(suffix)]
-            for name in os.listdir(self.root)
-            if name.endswith(suffix) and not name.startswith(".")
-        )
+        return self.index.scan()
 
     def keys(self) -> list[str]:
         return sorted(self.scan())
@@ -259,14 +319,18 @@ class ResultStore:
         malformed entries — a bad cache entry must mean "re-simulate", never
         abort the campaign).  ``key`` is an optional precomputed
         ``content_key(run)`` so batch scans hash each spec once."""
-        path = self.path_for(key if key is not None else content_key(run))
+        if key is None:
+            key = content_key(run)
+        path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
             if payload.get("version") != STORE_FORMAT_VERSION:
                 return None
-            return _metrics_from_payload(run, payload["metrics"])
+            row = _metrics_from_payload(run, payload["metrics"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
+        self.index.note_read(key)
+        return row
 
     def put(self, row: RunMetrics) -> Path:
         """Persist one row under its content key (idempotent overwrite)."""
@@ -285,6 +349,18 @@ class ResultStore:
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
         tmp.replace(path)
+        try:
+            st = path.stat()
+        except OSError:
+            st = None
+        if st is not None:
+            self.index.record_put(
+                key,
+                size=st.st_size,
+                mtime_ns=st.st_mtime_ns,
+                version=STORE_FORMAT_VERSION,
+                summary=_summarise_entry(payload),
+            )
         _log.debug("put %s (%s)", key[:12], row.run.cell_id)
         return path
 
@@ -309,7 +385,30 @@ class ResultStore:
             raise KeyError(f"no entry with key {key!r} in {self.root}")
         if len(matches) > 1:
             raise KeyError(f"key {key!r} is ambiguous ({len(matches)} matches)")
-        return self._read_entry(matches[0])
+        entry = self._read_entry(matches[0])
+        self.index.note_read(matches[0])
+        return entry
+
+    def summaries(
+        self, prefix: str | None = None, limit: int | None = None
+    ) -> list[IndexEntry]:
+        """Render-ready listing rows straight from the index — one journal
+        read instead of N entry reads.  Keys whose file is stale or
+        unreadable (``summary is None``) are excluded, matching
+        :meth:`entries`'s visibility rule; rows come in key order."""
+        if not self.root.is_dir():
+            return []
+        rows = self.index.live_entries()
+        out: list[IndexEntry] = []
+        for key in sorted(rows):
+            if prefix is not None and not key.startswith(prefix):
+                continue
+            if rows[key].summary is None:
+                continue
+            out.append(rows[key])
+            if limit is not None and len(out) >= limit:
+                break
+        return out
 
     def entries(self) -> Iterator[StoreEntry]:
         """All live entries, sorted by key (corrupt or old-format files are
@@ -324,10 +423,22 @@ class ResultStore:
 
     def remove(self, key: str) -> None:
         self.path_for(key).unlink(missing_ok=True)
+        self.index.record_remove(key)
 
-    def gc(self, predicate=None, dry_run: bool = False) -> list[str]:
+    def gc(
+        self,
+        predicate=None,
+        dry_run: bool = False,
+        lru_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> list[str]:
         """Collect entries: unreadable/old-format files always, plus any whose
-        :class:`StoreEntry` satisfies ``predicate``.  Returns removed keys."""
+        :class:`StoreEntry` satisfies ``predicate``, plus the retention
+        policies' picks — ``max_age`` dooms entries whose file is older than
+        that many seconds, ``lru_bytes`` then evicts least-recently-read
+        entries until the survivors total at most that many bytes (recency
+        comes from the index's read tracking).  Returns removed keys."""
         doomed: list[str] = []
         for key in self.keys():
             try:
@@ -337,6 +448,11 @@ class ResultStore:
                 continue
             if predicate is not None and predicate(entry):
                 doomed.append(key)
+        doomed.extend(
+            self.index.retention_doomed(
+                lru_bytes=lru_bytes, max_age=max_age, now=now, exclude=set(doomed)
+            )
+        )
         if not dry_run:
             for key in doomed:
                 self.remove(key)
@@ -352,16 +468,20 @@ class ResultStore:
         return doomed
 
     @staticmethod
-    def _is_current_entry(text: str) -> bool:
-        """Whether ``text`` is a readable, current-format entry payload."""
+    def _parse_current_entry(text: str) -> dict | None:
+        """``text`` parsed as a current-format entry payload, else ``None``."""
         try:
             payload = json.loads(text)
         except ValueError:
-            return False
-        return (
-            isinstance(payload, dict)
-            and payload.get("version") == STORE_FORMAT_VERSION
-        )
+            return None
+        if isinstance(payload, dict) and payload.get("version") == STORE_FORMAT_VERSION:
+            return payload
+        return None
+
+    @classmethod
+    def _is_current_entry(cls, text: str) -> bool:
+        """Whether ``text`` is a readable, current-format entry payload."""
+        return cls._parse_current_entry(text) is not None
 
     def merge(self, other: "ResultStore", overwrite: bool = False) -> int:
         """Union another store's entries into this one (the campaign-sharding
@@ -393,12 +513,24 @@ class ResultStore:
                 data = other.path_for(key).read_text()
             except OSError:
                 continue
-            if not self._is_current_entry(data):
+            payload = self._parse_current_entry(data)
+            if payload is None:
                 continue
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = self.root / f".{key}.{os.getpid()}.tmp"
             tmp.write_text(data)
             tmp.replace(target)
+            try:
+                st = target.stat()
+                self.index.record_put(
+                    key,
+                    size=st.st_size,
+                    mtime_ns=st.st_mtime_ns,
+                    version=STORE_FORMAT_VERSION,
+                    summary=_summarise_entry(payload),
+                )
+            except OSError:
+                pass  # the next scan reconciles the copied file in
             copied += 1
         _log.info("merged %d entr%s from %s", copied, "y" if copied == 1 else "ies", other.root)
         return copied

@@ -1,0 +1,12 @@
+"""Shared machinery of the content-addressed store tiers.
+
+:mod:`repro.store.index` provides the append-only JSONL index that makes
+:class:`~repro.results.store.ResultStore` and
+:class:`~repro.traces.store.TraceStore` scans O(1) on warm stores instead of
+O(N) directory walks.  The index is derived metadata — the one-file-per-cell
+directory stays the only ground truth.
+"""
+
+from repro.store.index import INDEX_SUFFIX, INDEX_VERSION, IndexEntry, StoreIndex
+
+__all__ = ["INDEX_SUFFIX", "INDEX_VERSION", "IndexEntry", "StoreIndex"]

@@ -10,8 +10,11 @@ Subcommands::
 ``export`` re-emits one stored cell on demand — a ``.prv``-style trace
 (through the same renderer as the live
 :class:`~repro.results.sinks.ParaverTraceSink`, so the bytes match a
-per-run sink export) or the decompressed JSONL record stream.  File names
-use the content key alone, so re-exports overwrite instead of accumulating.
+per-run sink export) with its ``.pcf``/``.row`` companion files so the
+real Paraver UI can open it, or the decompressed JSONL record stream.
+File names use the content key alone, so re-exports overwrite instead of
+accumulating.  ``show --head N`` and windowed queries route through the
+v3 artifact's segment table, inflating only the slices they touch.
 ``gc`` is a dry run unless ``--delete`` is given; unreadable or old-format
 artifacts are always candidates.
 """
@@ -24,7 +27,7 @@ import sys
 from pathlib import Path
 
 from repro.experiments.tables import render_table
-from repro.results.sinks import prv_text
+from repro.results.sinks import pcf_text, prv_text, row_text
 from repro.traces.query import TraceReader
 from repro.traces.store import DEFAULT_TRACE_ROOT, TraceEntry, TraceStore
 
@@ -42,12 +45,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls = sub.add_parser("ls", help="list stored traces")
     add_store(ls)
+    ls.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="print at most N rows")
+    ls.add_argument("--prefix", default=None,
+                    help="only list keys starting with this hex prefix")
 
     show = sub.add_parser("show", help="show one trace's timelines")
     show.add_argument("key", help="content key (an unambiguous prefix is enough)")
     add_store(show)
     show.add_argument("--bin-seconds", type=float, default=100.0,
                       help="timeline bin width in seconds (default 100)")
+    show.add_argument("--head", type=int, default=None, metavar="N",
+                      help="print the first N step records instead of the "
+                           "timelines (inflates only the leading segments)")
 
     export = sub.add_parser("export", help="re-emit one stored trace")
     export.add_argument("key", help="content key (an unambiguous prefix is enough)")
@@ -64,31 +74,71 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--workload-contains", default=None, metavar="SUBSTRING",
                     help="also collect traces whose workload label contains this")
     gc.add_argument("--all", action="store_true", help="collect every artifact")
+    gc.add_argument("--lru", type=int, default=None, metavar="BYTES",
+                    help="evict least-recently-read artifacts until the "
+                         "survivors total at most BYTES")
+    gc.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                    help="also collect artifacts whose file is older than this")
     gc.add_argument("--delete", action="store_true",
                     help="actually delete (default: dry run)")
     return parser
 
 
-def render_trace_table(store: TraceStore) -> str:
-    """One row per stored trace, in key order."""
-    entries = list(store.entries())
-    if not entries:
+def render_trace_table(
+    store: TraceStore, limit: int | None = None, prefix: str | None = None
+) -> str:
+    """One row per stored trace, in key order.
+
+    Served from the store's index summaries — no header (let alone body)
+    inflation per artifact, so ``ls`` is O(changed) on a warm store.
+    """
+    summaries = store.summaries(prefix=prefix, limit=limit)
+    if not summaries:
         return f"(trace store {store.root} is empty)"
     rows = [
         (
-            entry.key[:12],
-            entry.header["scenario"],
-            entry.run.workload.label,
-            str(entry.header.get("nsteps", "?")),
-            str(entry.header.get("nmask_changes", "?")),
-            f"{entry.header['end_time']:.3f}",
-            f"{entry.path.stat().st_size / 1024:.1f}",
+            item.key[:12],
+            item.summary["scenario"],
+            item.summary["workload"],
+            str(item.summary["nsteps"]),
+            str(item.summary["nmask_changes"]),
+            f"{item.summary['end_time']:.3f}",
+            f"{item.size / 1024:.1f}",
         )
-        for entry in entries
+        for item in summaries
     ]
     return render_table(
         ["Key", "Scenario", "Workload", "Steps", "Mask chg", "End (s)", "KiB"],
         rows,
+    )
+
+
+def render_trace_head(entry: TraceEntry, count: int) -> str:
+    """The first ``count`` step records in canonical order — inflating only
+    the leading segments of the artifact."""
+    steps = entry.head_steps(count)
+    if not steps:
+        return "(no step records)"
+    table = render_table(
+        ["Job", "Rank", "Node", "Start (s)", "Dur (s)", "Thr", "IPC", "Phase"],
+        [
+            (
+                step.job,
+                str(step.rank),
+                step.node,
+                f"{step.start:.3f}",
+                f"{step.duration:.3f}",
+                str(step.nthreads),
+                f"{step.ipc:.3f}",
+                step.phase,
+            )
+            for step in steps
+        ],
+    )
+    return (
+        table
+        + f"\n({len(steps)} of {entry.header.get('nsteps', '?')} step record(s); "
+        f"{entry.segments_inflated} of {len(entry.segments)} segment(s) inflated)"
     )
 
 
@@ -148,7 +198,7 @@ def main(argv: list[str] | None = None) -> int:
     store = TraceStore(args.store)
     if args.command == "ls":
         print(f"trace store {store.root}: {len(store)} trace(s)")
-        print(render_trace_table(store))
+        print(render_trace_table(store, limit=args.limit, prefix=args.prefix))
         return 0
     if args.command in ("show", "export"):
         try:
@@ -157,21 +207,34 @@ def main(argv: list[str] | None = None) -> int:
             print(exc.args[0], file=sys.stderr)
             return 1
         if args.command == "show":
-            print(render_trace(entry, args.bin_seconds))
+            if args.head is not None:
+                print(render_trace_head(entry, args.head))
+            else:
+                print(render_trace(entry, args.bin_seconds))
             return 0
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         stem = f"{entry.header['scenario']}-{entry.key[:12]}"
         if args.format == "prv":
+            # Emit the Paraver triple: the .prv record stream plus the .pcf
+            # event/value dictionary and .row axis labels the real Paraver
+            # UI needs to open it.
             path = out / f"{stem}.prv"
             path.write_text(prv_text(entry.tracer))
+            (out / f"{stem}.pcf").write_text(pcf_text(entry.tracer))
+            (out / f"{stem}.row").write_text(row_text(entry.tracer))
         else:
             path = out / f"{stem}.jsonl"
             path.write_bytes(gzip.decompress(entry.path.read_bytes()))
         print(f"exported {entry.key[:12]} -> {path}")
         return 0
     if args.command == "gc":
-        removed = store.gc(_gc_predicate(args), dry_run=not args.delete)
+        removed = store.gc(
+            _gc_predicate(args),
+            dry_run=not args.delete,
+            lru_bytes=args.lru,
+            max_age=args.max_age,
+        )
         verb = "removed" if args.delete else "would remove"
         print(f"gc {store.root}: {verb} {len(removed)} trace(s)")
         for key in removed:

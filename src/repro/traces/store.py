@@ -10,15 +10,28 @@ tiers thus address the same cell by the same hash — a key found in both
 means "this simulation's reporting is fully reconstructable without
 re-simulating".
 
-Artifact layout: one ``<key>.jsonl.gz`` file per cell.  The first line is a
-versioned run header (spec contents, scenario, workload name, end time,
-cycles/µs calibration); every following line is one step or mask-change
-record — steps in the tracer's canonical ``(start, job, rank)`` order, mask
-changes in recording order — using exactly the JSONL-sink schema
-(:meth:`~repro.metrics.tracing.StepRecord.to_record`).  Floats serialise via
-``repr`` and gzip is written with a zeroed mtime, so the same tracer always
-produces byte-identical artifacts — re-puts are idempotent, and shard stores
-merge by plain file union like the metrics tier.
+Artifact layout (format v3): one ``<key>.jsonl.gz`` file per cell, written
+as a sequence of **concatenated gzip members** — a valid multi-member gzip
+stream, so ``gzip.decompress`` of the whole file still yields the flat JSONL
+record stream:
+
+* the first member holds the versioned run header line (spec contents,
+  scenario, workload name, end time, cycles/µs calibration) — including a
+  ``segments`` table of time-windowed step chunks (first start, last end,
+  record count, compressed byte length) and the mask member's byte length;
+* one member per step segment: up to ``segment_steps`` step records in the
+  tracer's canonical ``(start, job, rank)`` order;
+* one final member with the mask-change records (omitted when there are
+  none).
+
+Because the header carries every member's compressed length, a reader seeks
+straight to any segment and inflates only the time windows a query touches
+— and validates the artifact's total byte size up front, so a truncated
+copy reads as a miss even though its header member is intact.  Floats
+serialise via ``repr`` and every member is written with a zeroed gzip
+mtime, so the same tracer always produces byte-identical artifacts —
+re-puts are idempotent, and shard stores merge by plain file union like the
+metrics tier.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ import io
 import json
 import os
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -37,6 +50,7 @@ from repro.campaign.spec import RunSpec
 from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
 from repro.obs.log import get_logger
 from repro.results.store import content_key, spec_contents, spec_from_contents
+from repro.store.index import IndexEntry, StoreIndex
 
 _log = get_logger("traces.store")
 
@@ -58,31 +72,53 @@ DEFAULT_TRACE_ROOT = Path("benchmarks") / "results" / "traces"
 #: * 2 — step records serialise in the tracer's canonical ``(start, job,
 #:   rank)`` order instead of raw recording order, so batched and unbatched
 #:   executions of the same cell write byte-identical artifacts.
-TRACE_FORMAT_VERSION = 2
+#: * 3 — chunked layout: the body splits into time-windowed gzip members
+#:   with a byte-offset ``segments`` table in the header, so windowed
+#:   queries inflate only the touched segments.  The decompressed record
+#:   stream is unchanged from v2.
+TRACE_FORMAT_VERSION = 3
 
 _SUFFIX = ".jsonl.gz"
+
+#: Step records per segment member.  Small enough that an interval query
+#: over a million-step trace inflates a sliver, large enough that gzip
+#: still sees repetitive JSONL to compress well.
+DEFAULT_SEGMENT_STEPS = 2048
 
 #: Everything a read of a missing/corrupt/stale artifact can raise, and that
 #: must therefore read as a *miss* rather than abort a campaign: filesystem
 #: errors (``gzip.BadGzipFile`` is an ``OSError``), malformed JSON/headers,
 #: and truncated or bit-rotted compressed streams (``EOFError`` /
 #: ``zlib.error`` — e.g. an interrupted copy of a shard store).
-_READ_ERRORS = (OSError, ValueError, KeyError, EOFError, zlib.error)
+_READ_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError, zlib.error)
+
+
+def _gzip_member(text: str) -> bytes:
+    """One deterministic gzip member (mtime pinned to 0)."""
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as stream:
+        stream.write(text.encode("utf-8"))
+    return buffer.getvalue()
 
 
 @dataclass(frozen=True)
 class TraceEntry:
-    """One stored trace: its key, validated header, and a lazy tracer.
+    """One stored trace: its key, validated header, and lazy record access.
 
-    The header (one JSON line) is read eagerly for listing and version
-    checks; the full record stream is only decompressed and parsed when
-    :attr:`tracer` is first touched — ``ls`` over a thousand-cell store
-    never inflates a single trace body.
+    The header member is read eagerly for listing and version checks; step
+    segments inflate individually on first touch (cached per entry), so
+    windowed queries over a long trace never decompress the parts they
+    don't visit, and ``ls`` never inflates a single body byte.
     """
 
     key: str
     path: Path
     header: dict
+    #: Compressed byte length of the header member — the first segment's
+    #: file offset.  Zero only for hand-built entries that never read lazily.
+    header_bytes: int = 0
+    #: Per-entry cache of inflated members (segment index or ``"mask"``).
+    _inflated: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def contents(self) -> dict:
@@ -93,24 +129,133 @@ class TraceEntry:
     def run(self) -> RunSpec:
         return spec_from_contents(self.contents)
 
+    # -- lazy segment access -----------------------------------------------------
+
+    @property
+    def segments(self) -> list[dict]:
+        """The header's segment table: ``{"t0", "t1", "n", "bytes"}`` per
+        step chunk, in canonical step order."""
+        return self.header.get("segments", [])
+
+    @property
+    def segments_inflated(self) -> int:
+        """How many step segments this entry has decompressed so far."""
+        return sum(1 for key in self._inflated if isinstance(key, int))
+
+    def _member_records(self, offset: int, length: int) -> list[dict]:
+        with open(self.path, "rb") as stream:
+            stream.seek(offset)
+            blob = stream.read(length)
+        if len(blob) != length:
+            raise ValueError(f"{self.path} is truncated at offset {offset}")
+        text = gzip.decompress(blob).decode("utf-8")
+        return [json.loads(line) for line in text.splitlines() if line]
+
+    def _segment_offset(self, index: int) -> int:
+        return self.header_bytes + sum(
+            int(seg["bytes"]) for seg in self.segments[:index]
+        )
+
+    def segment_steps(self, index: int) -> list[StepRecord]:
+        """The step records of one segment, inflating it on first touch."""
+        if index not in self._inflated:
+            meta = self.segments[index]
+            steps: list[StepRecord] = []
+            for record in self._member_records(
+                self._segment_offset(index), int(meta["bytes"])
+            ):
+                if record.get("record") != "step":
+                    raise ValueError(
+                        f"unknown record type {record.get('record')!r} in {self.path}"
+                    )
+                steps.append(StepRecord.from_record(record))
+            self._inflated[index] = steps
+        return self._inflated[index]
+
+    def mask_records(self) -> list[MaskChangeRecord]:
+        """The mask-change records, inflating the mask member on first touch."""
+        if "mask" not in self._inflated:
+            nbytes = int(self.header.get("mask_bytes", 0))
+            changes: list[MaskChangeRecord] = []
+            if nbytes:
+                offset = self._segment_offset(len(self.segments))
+                for record in self._member_records(offset, nbytes):
+                    if record.get("record") != "mask_change":
+                        raise ValueError(
+                            f"unknown record type {record.get('record')!r} "
+                            f"in {self.path}"
+                        )
+                    changes.append(MaskChangeRecord.from_record(record))
+            self._inflated["mask"] = changes
+        return self._inflated["mask"]
+
+    def steps_between(self, lo: float, hi: float) -> list[StepRecord]:
+        """Every step overlapping ``[lo, hi]`` (``start <= hi and end >=
+        lo``), inflating only the segments whose time window overlaps.
+
+        Sound because a segment's ``t0`` is its first step's start (the
+        canonical order sorts by start, so the minimum) and ``t1`` is the
+        maximum step end — any step overlapping the query makes its
+        segment's window overlap too.
+        """
+        matches: list[StepRecord] = []
+        for index, seg in enumerate(self.segments):
+            if float(seg["t0"]) <= hi and float(seg["t1"]) >= lo:
+                matches.extend(
+                    step
+                    for step in self.segment_steps(index)
+                    if step.start <= hi and step.end >= lo
+                )
+        return matches
+
+    def head_steps(self, count: int) -> list[StepRecord]:
+        """The first ``count`` steps in canonical order, inflating only the
+        leading segments."""
+        head: list[StepRecord] = []
+        for index in range(len(self.segments)):
+            if len(head) >= count:
+                break
+            head.extend(self.segment_steps(index))
+        return head[:count]
+
     @cached_property
     def tracer(self) -> Tracer:
-        """The full tracer, parsed from the compressed record stream."""
+        """The full tracer, assembled from every segment plus the masks."""
         tracer = Tracer(cycles_per_us=self.header.get("cycles_per_us", 2600.0))
-        with gzip.open(self.path, "rt", encoding="utf-8") as stream:
-            next(stream)  # the header line, already parsed
-            for line in stream:
-                record = json.loads(line)
-                kind = record.get("record")
-                if kind == "step":
-                    tracer.record_step(StepRecord.from_record(record))
-                elif kind == "mask_change":
-                    tracer.record_mask_change(MaskChangeRecord.from_record(record))
-                else:
-                    raise ValueError(
-                        f"unknown record type {kind!r} in {self.path}"
-                    )
+        for index in range(len(self.segments)):
+            tracer.record_steps(self.segment_steps(index))
+        for change in self.mask_records():
+            tracer.record_mask_change(change)
         return tracer
+
+
+# -- index summaries ------------------------------------------------------------------
+
+
+def _summarise_header(header: dict) -> dict | None:
+    """The render-ready fields of one artifact header — everything the
+    ``ls`` table prints, precomputed at write/index time."""
+    try:
+        run = spec_from_contents(header["run"])
+        return {
+            "scenario": header["scenario"],
+            "workload": run.workload.label,
+            "nsteps": header["nsteps"],
+            "nmask_changes": header["nmask_changes"],
+            "end_time": header["end_time"],
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _describe_artifact(path: Path) -> tuple[object, dict | None]:
+    """Index rebuild callback: a file's format version and summary; every
+    failure maps to "present but not renderable" — never raises."""
+    try:
+        header, _ = TraceStore._header_span(path)
+    except _READ_ERRORS:
+        return None, None
+    return header.get("version"), _summarise_header(header)
 
 
 class TraceStore:
@@ -122,8 +267,40 @@ class TraceStore:
     cross-host sharding union.
     """
 
-    def __init__(self, root: str | os.PathLike = DEFAULT_TRACE_ROOT) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_TRACE_ROOT,
+        segment_steps: int = DEFAULT_SEGMENT_STEPS,
+    ) -> None:
+        if segment_steps <= 0:
+            raise ValueError("segment_steps must be positive")
         self.root = Path(root)
+        self.segment_steps = segment_steps
+        self._index: StoreIndex | None = None
+
+    def __getstate__(self) -> dict:
+        # Stores ship into pool/SSH workers (WorkerContext); the index is
+        # per-process derived state and rebuilds lazily on the other side.
+        return {"root": self.root, "segment_steps": self.segment_steps}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self.segment_steps = state["segment_steps"]
+        self._index = None
+
+    @property
+    def index(self) -> StoreIndex:
+        """The store's append-only JSONL index (derived metadata; the
+        artifact files stay the only ground truth)."""
+        if self._index is None:
+            self._index = StoreIndex(
+                self.root,
+                suffix=_SUFFIX,
+                store_version=TRACE_FORMAT_VERSION,
+                describe=_describe_artifact,
+                kind="traces",
+            )
+        return self._index
 
     # -- addressing --------------------------------------------------------------
 
@@ -131,21 +308,18 @@ class TraceStore:
         return self.root / f"{key}{_SUFFIX}"
 
     def scan(self) -> frozenset[str]:
-        """Every key present, from a **single** directory listing.
+        """Every key present, from the index journal — O(1) filesystem work
+        on a warm store, one ``listdir`` + stat-diff after any write.
 
         Mirrors :meth:`ResultStore.scan`: the campaign warm-scan checks N
-        cells against this set (one ``listdir`` total) and only header-reads
-        the members, instead of probing the filesystem once per cell.
+        cells against this one set and only header-reads the members.
         Presence is name-level only — a scanned key can still be a miss if
-        its artifact is stale or unreadable.
+        its artifact is stale or unreadable — and the index self-heals from
+        the directory whenever it is missing, torn or disagrees with it.
         """
         if not self.root.is_dir():
             return frozenset()
-        return frozenset(
-            name[: -len(_SUFFIX)]
-            for name in os.listdir(self.root)
-            if name.endswith(_SUFFIX) and not name.startswith(".")
-        )
+        return self.index.scan()
 
     def keys(self) -> list[str]:
         return sorted(self.scan())
@@ -156,7 +330,7 @@ class TraceStore:
     def __contains__(self, run: RunSpec) -> bool:
         """Whether ``run``'s cell holds a readable, current-format trace."""
         try:
-            self._read_header(self.path_for(content_key(run)))
+            self._header_span(self.path_for(content_key(run)))
         except _READ_ERRORS:
             return False
         return True
@@ -164,11 +338,27 @@ class TraceStore:
     # -- read/write --------------------------------------------------------------
 
     @staticmethod
-    def _read_header(path: Path) -> dict:
-        """Parse and validate the artifact's header line (cheap: the gzip
-        stream is only inflated up to the first newline)."""
-        with gzip.open(path, "rt", encoding="utf-8") as stream:
-            header = json.loads(stream.readline())
+    def _header_span(path: Path) -> tuple[dict, int]:
+        """Parse and validate the header member; returns ``(header,
+        compressed_length)``.
+
+        Cheap for v3 artifacts — only the small first member inflates — and
+        the validation cross-checks the header's segment table against the
+        file's actual byte size, so a truncated artifact fails here even
+        though its header member is intact.
+        """
+        decomp = zlib.decompressobj(wbits=31)
+        body = bytearray()
+        consumed = 0
+        with open(path, "rb") as stream:
+            while not decomp.eof:
+                chunk = stream.read(65536)
+                if not chunk:
+                    raise ValueError(f"{path} ends mid-member")
+                body += decomp.decompress(chunk)
+                consumed += len(chunk)
+        header_bytes = consumed - len(decomp.unused_data)
+        header = json.loads(bytes(body).split(b"\n", 1)[0])
         if not isinstance(header, dict) or header.get("record") != "run":
             raise ValueError(f"{path} has no run header record")
         if header.get("version") != TRACE_FORMAT_VERSION:
@@ -176,7 +366,27 @@ class TraceStore:
                 f"trace {path.name} has format {header.get('version')!r}, "
                 f"expected {TRACE_FORMAT_VERSION}"
             )
-        return header
+        expected = (
+            header_bytes
+            + sum(int(seg["bytes"]) for seg in header["segments"])
+            + int(header["mask_bytes"])
+        )
+        actual = path.stat().st_size
+        if actual != expected:
+            raise ValueError(
+                f"trace {path.name} holds {actual} byte(s), segment table "
+                f"expects {expected} — truncated or corrupt"
+            )
+        return header, header_bytes
+
+    @classmethod
+    def _read_header(cls, path: Path) -> dict:
+        """Parse and validate the artifact's header (see :meth:`_header_span`)."""
+        return cls._header_span(path)[0]
+
+    def _entry(self, key: str, path: Path) -> TraceEntry:
+        header, header_bytes = self._header_span(path)
+        return TraceEntry(key=key, path=path, header=header, header_bytes=header_bytes)
 
     def get(self, run: RunSpec, key: str | None = None) -> TraceEntry | None:
         """The stored trace of ``run``'s cell, or ``None`` on a miss
@@ -187,20 +397,49 @@ class TraceStore:
             key = content_key(run)
         path = self.path_for(key)
         try:
-            header = self._read_header(path)
+            entry = self._entry(key, path)
         except _READ_ERRORS:
             return None
-        return TraceEntry(key=key, path=path, header=header)
+        self.index.note_read(key)
+        return entry
 
     def put(self, run: RunSpec, result: "ScenarioResult") -> Path:
         """Persist one executed run's full trace under its content key.
 
         Idempotent overwrite: the serialisation is deterministic (stable
-        record order, sorted JSON keys, gzip mtime pinned to 0), so re-puts
-        of the same cell write byte-identical artifacts.
+        record order, sorted JSON keys, gzip mtimes pinned to 0, a fixed
+        ``segment_steps`` chunking), so re-puts of the same cell write
+        byte-identical artifacts.
         """
         key = content_key(run)
         tracer = result.tracer
+        steps = list(tracer)  # canonical (start, job, rank) order
+        changes = tracer.mask_changes()
+        segment_blobs: list[bytes] = []
+        segment_table: list[dict] = []
+        for start in range(0, len(steps), self.segment_steps):
+            chunk = steps[start : start + self.segment_steps]
+            blob = _gzip_member(
+                "\n".join(json.dumps(step.to_record(), sort_keys=True) for step in chunk)
+                + "\n"
+            )
+            segment_blobs.append(blob)
+            segment_table.append(
+                {
+                    "t0": chunk[0].start,
+                    "t1": max(step.end for step in chunk),
+                    "n": len(chunk),
+                    "bytes": len(blob),
+                }
+            )
+        mask_blob = b""
+        if changes:
+            mask_blob = _gzip_member(
+                "\n".join(
+                    json.dumps(change.to_record(), sort_keys=True) for change in changes
+                )
+                + "\n"
+            )
         header = {
             "record": "run",
             "version": TRACE_FORMAT_VERSION,
@@ -212,28 +451,39 @@ class TraceStore:
             "end_time": result.end_time,
             "cycles_per_us": tracer.cycles_per_us,
             "nsteps": len(tracer),
-            "nmask_changes": len(tracer.mask_changes()),
+            "nmask_changes": len(changes),
+            "segments": segment_table,
+            "mask_bytes": len(mask_blob),
         }
-        lines = [json.dumps(header, sort_keys=True)]
-        lines.extend(json.dumps(step.to_record(), sort_keys=True) for step in tracer)
-        lines.extend(
-            json.dumps(change.to_record(), sort_keys=True)
-            for change in tracer.mask_changes()
+        data = (
+            _gzip_member(json.dumps(header, sort_keys=True) + "\n")
+            + b"".join(segment_blobs)
+            + mask_blob
         )
-        buffer = io.BytesIO()
-        # mtime=0: gzip embeds a timestamp by default, which would make two
-        # exports of the same trace differ byte-wise and break merge dedupe.
-        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as stream:
-            stream.write(("\n".join(lines) + "\n").encode("utf-8"))
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         # Unique temp name + atomic rename: concurrent writers of the same
         # cell (pool workers, campaign shards) cannot interleave bytes.
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
-        tmp.write_bytes(buffer.getvalue())
+        tmp.write_bytes(data)
         tmp.replace(path)
+        try:
+            st = path.stat()
+            self.index.record_put(
+                key,
+                size=st.st_size,
+                mtime_ns=st.st_mtime_ns,
+                version=TRACE_FORMAT_VERSION,
+                summary=_summarise_header(header),
+            )
+        except OSError:
+            pass  # the next scan reconciles the written file in
         _log.debug(
-            "put %s (%s, %d step record(s))", key[:12], run.cell_id, len(tracer)
+            "put %s (%s, %d step record(s), %d segment(s))",
+            key[:12],
+            run.cell_id,
+            len(tracer),
+            len(segment_table),
         )
         return path
 
@@ -244,41 +494,74 @@ class TraceStore:
             raise KeyError(f"no trace with key {key!r} in {self.root}")
         if len(matches) > 1:
             raise KeyError(f"key {key!r} is ambiguous ({len(matches)} matches)")
-        path = self.path_for(matches[0])
-        return TraceEntry(key=matches[0], path=path, header=self._read_header(path))
+        entry = self._entry(matches[0], self.path_for(matches[0]))
+        self.index.note_read(matches[0])
+        return entry
+
+    def summaries(
+        self, prefix: str | None = None, limit: int | None = None
+    ) -> list[IndexEntry]:
+        """Render-ready listing rows straight from the index — one journal
+        read instead of N header reads.  Keys whose artifact is stale or
+        unreadable (``summary is None``) are excluded, matching
+        :meth:`entries`'s visibility rule; rows come in key order."""
+        if not self.root.is_dir():
+            return []
+        rows = self.index.live_entries()
+        out: list[IndexEntry] = []
+        for key in sorted(rows):
+            if prefix is not None and not key.startswith(prefix):
+                continue
+            if rows[key].summary is None:
+                continue
+            out.append(rows[key])
+            if limit is not None and len(out) >= limit:
+                break
+        return out
 
     def entries(self) -> Iterator[TraceEntry]:
         """All live entries, sorted by key (corrupt or old-format artifacts
         are skipped — same visibility rule as :meth:`get`)."""
         for key in self.keys():
-            path = self.path_for(key)
             try:
-                header = self._read_header(path)
+                yield self._entry(key, self.path_for(key))
             except _READ_ERRORS:
                 continue
-            yield TraceEntry(key=key, path=path, header=header)
 
     # -- maintenance -------------------------------------------------------------
 
     def remove(self, key: str) -> None:
         self.path_for(key).unlink(missing_ok=True)
+        self.index.record_remove(key)
 
-    def gc(self, predicate=None, dry_run: bool = False) -> list[str]:
+    def gc(
+        self,
+        predicate=None,
+        dry_run: bool = False,
+        lru_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> list[str]:
         """Collect artifacts: unreadable/old-format files always, plus any
-        whose :class:`TraceEntry` satisfies ``predicate``.  Returns the
-        removed keys."""
+        whose :class:`TraceEntry` satisfies ``predicate``, plus the
+        retention policies' picks (``max_age`` in seconds on the file's
+        mtime, then ``lru_bytes`` evicting least-recently-read artifacts
+        until the survivors fit the byte budget).  Returns removed keys."""
         doomed: list[str] = []
         for key in self.keys():
             path = self.path_for(key)
             try:
-                header = self._read_header(path)
+                entry = self._entry(key, path)
             except _READ_ERRORS:
                 doomed.append(key)
                 continue
-            if predicate is not None and predicate(
-                TraceEntry(key=key, path=path, header=header)
-            ):
+            if predicate is not None and predicate(entry):
                 doomed.append(key)
+        doomed.extend(
+            self.index.retention_doomed(
+                lru_bytes=lru_bytes, max_age=max_age, now=now, exclude=set(doomed)
+            )
+        )
         if not dry_run:
             for key in doomed:
                 self.remove(key)
@@ -314,7 +597,7 @@ class TraceStore:
                     pass  # stale or unreadable: the incoming one wins
             source = other.path_for(key)
             try:
-                other._read_header(source)
+                header = other._read_header(source)
                 data = source.read_bytes()
             except _READ_ERRORS:
                 continue
@@ -322,6 +605,17 @@ class TraceStore:
             tmp = self.root / f".{key}.{os.getpid()}.tmp"
             tmp.write_bytes(data)
             tmp.replace(target)
+            try:
+                st = target.stat()
+                self.index.record_put(
+                    key,
+                    size=st.st_size,
+                    mtime_ns=st.st_mtime_ns,
+                    version=TRACE_FORMAT_VERSION,
+                    summary=_summarise_header(header),
+                )
+            except OSError:
+                pass  # the next scan reconciles the copied file in
             copied += 1
         _log.info("merged %d artifact(s) from %s", copied, other.root)
         return copied
