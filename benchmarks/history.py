@@ -1,0 +1,97 @@
+"""Append the current ``BENCH_*.json`` reports to ``benchmarks/history.jsonl``.
+
+Each report distils to one schema-versioned row (gate name, pass/fail,
+headline speedup, aggregate span seconds, commit) via
+:mod:`repro.obs.bench`; re-running over unchanged reports appends nothing.
+Print the trajectory (and flag >20% regressions) with::
+
+    PYTHONPATH=src python -m repro.obs bench report
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/history.py [--results DIR] [--history FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.bench import append_history, history_row
+
+RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_PATH = Path(__file__).parent / "history.jsonl"
+
+
+def current_commit(repo: Path) -> str | None:
+    """The checkout's short commit id, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def scan_reports(results: Path, commit: str | None) -> list[dict]:
+    """One history row per readable ``BENCH_<gate>.json`` in ``results``.
+
+    The gate name is the filename stem after the ``BENCH_`` prefix; the
+    row's timestamp is the report file's mtime (no wall-clock read, so a
+    re-scan of unchanged reports builds identical rows)."""
+    rows = []
+    for path in sorted(results.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        gate = path.stem[len("BENCH_"):]
+        rows.append(
+            history_row(
+                gate,
+                report,
+                commit=commit,
+                timestamp=int(path.stat().st_mtime),
+            )
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=RESULTS_DIR,
+        help=f"directory holding BENCH_*.json (default {RESULTS_DIR})",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=HISTORY_PATH,
+        help=f"history file to append to (default {HISTORY_PATH})",
+    )
+    args = parser.parse_args(argv)
+    rows = scan_reports(args.results, current_commit(args.results.parent))
+    if not rows:
+        print(f"no BENCH_*.json reports under {args.results}")
+        return 0
+    appended = append_history(args.history, rows)
+    print(
+        f"{len(rows)} report(s) scanned, {appended} new row(s) appended "
+        f"to {args.history}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

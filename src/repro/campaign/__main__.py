@@ -464,8 +464,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.export import write_chrome_trace, write_summary
 
         if args.telemetry is not None:
-            write_summary(telemetry, args.telemetry)
+            document = write_summary(telemetry, args.telemetry)
             print(f"telemetry summary written to {args.telemetry}")
+            sched = document["summary"].get("scheduler") or {}
+            if sched.get("jobs"):
+                print(
+                    f"scheduler: {sched['jobs']} job(s), mean wait "
+                    f"{sched['mean_wait']:.3f} s, max wait "
+                    f"{sched['max_wait']:.3f} s, allocation utilization "
+                    f"{sched['utilization']:.3f}"
+                )
         if args.chrome_trace is not None:
             write_chrome_trace(telemetry, args.chrome_trace)
             print(f"chrome trace written to {args.chrome_trace}")

@@ -88,7 +88,35 @@ def execute_run(
         span.count("events", result.events_executed)
         span.count("steps", result.steps_advanced)
         span.count("batches", result.batches_executed)
+        _annotate_sched(span, result)
     return result
+
+
+def _annotate_sched(span: Span, result: ScenarioResult) -> None:
+    """Attach the run's scheduler-level observables to its ``simulate`` span.
+
+    Everything here is a pure function of the (deterministic) simulation
+    outcome — never of wall clock — so serial and pooled campaigns record
+    identical values.  The queue-depth series rides as a span attribute
+    (excluded from Chrome-trace ``args``; exported as a counter track).
+    """
+    timeline = result.sched
+    # The disabled telemetry hands out a shared null span whose ``attrs``
+    # dict is class-level; never write into it.
+    if not len(timeline) or not isinstance(span, Span):
+        return
+    fairness = timeline.fairness_summary()
+    span.count("sched_jobs", fairness.njobs)
+    span.count("sched_started", fairness.started)
+    span.count("sched_wait_seconds", fairness.mean_wait * fairness.started)
+    span.count("sched_busy_cpu_seconds", timeline.busy_cpu_seconds(result.end_time))
+    span.count(
+        "sched_capacity_cpu_seconds", timeline.capacity_cpu_seconds(result.end_time)
+    )
+    span.attrs["sched_max_wait"] = fairness.max_wait
+    span.attrs["sched_queue_series"] = [
+        list(point) for point in timeline.queue_depth_series()
+    ]
 
 
 def run_scenario_pair(
@@ -571,6 +599,10 @@ def execute_runs(
                     on_done=on_done,
                     on_failed=on_failed,
                     on_status=on_status,
+                    # A fresh clock (None when telemetry is off) turns on the
+                    # per-executor (time, depth, in-flight) series without
+                    # perturbing the campaign span's own clock domain.
+                    clock=obs.fresh_clock(),
                 )
                 collect(outcome.results, advance=False)
                 if obs.enabled:
@@ -591,6 +623,13 @@ def execute_runs(
                         span.count("requeued", stat.requeued)
                         span.count("timeouts", stat.timeouts)
                         span.count("max_in_flight", stat.max_in_flight)
+                        if stat.series:
+                            # Full queue-depth/in-flight series (not just
+                            # the high-water mark); excluded from Chrome
+                            # args, exported as a counter track instead.
+                            span.attrs["queue_series"] = [
+                                list(sample) for sample in stat.series
+                            ]
                         obs.adopt(span, parent=campaign)
                     campaign.count("max_queue_depth", outcome.max_queue_depth)
             elif workers == 1:

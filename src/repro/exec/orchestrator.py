@@ -85,6 +85,10 @@ class ExecutorStats:
     in_flight: int = 0
     max_in_flight: int = 0
     died: bool = False
+    #: ``[time, queue_depth, in_flight]`` samples at every dispatch/completion
+    #: edge, on the clock :func:`orchestrate` was given (empty without one).
+    #: Feeds the ``executor`` telemetry span and its Chrome counter track.
+    series: list = field(default_factory=list)
 
 
 @dataclass
@@ -261,6 +265,7 @@ async def _orchestrate(
     on_done: Callable | None,
     on_failed: Callable | None,
     on_status: Callable | None,
+    clock: Callable[[], float] | None,
 ) -> OrchestrationOutcome:
     stats = _named_stats(executors)
     started: list[Executor] = []
@@ -287,6 +292,15 @@ async def _orchestrate(
     state.live_executors = len(started)
 
     def notify() -> None:
+        if clock is not None:
+            # Full (time, depth, in-flight) series, one sample per executor
+            # per edge — not just the high-water mark the outcome keeps.
+            now = clock()
+            depth = state.queue.qsize()
+            for executor in started:
+                if id(executor) not in state.retired:
+                    record = stats[id(executor)]
+                    record.series.append([now, depth, record.in_flight])
         if on_status is not None:
             on_status(
                 {
@@ -351,6 +365,7 @@ def orchestrate(
     on_done: Callable | None = None,
     on_failed: Callable | None = None,
     on_status: Callable | None = None,
+    clock: Callable[[], float] | None = None,
 ) -> OrchestrationOutcome:
     """Run ``runs`` across ``executors`` and return the outcome.
 
@@ -358,7 +373,9 @@ def orchestrate(
     synchronous API).  ``on_done(run, row, executor_name)`` fires per
     completed cell, ``on_failed(run, reason, executor_name)`` per
     permanently failed cell, ``on_status(in_flight_by_executor,
-    queue_depth)`` on every dispatch/completion edge.
+    queue_depth)`` on every dispatch/completion edge.  ``clock`` (seconds,
+    e.g. the telemetry's fresh clock) enables the per-executor
+    ``(time, queue_depth, in_flight)`` series on the returned stats.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -377,5 +394,6 @@ def orchestrate(
             on_done,
             on_failed,
             on_status,
+            clock,
         )
     )

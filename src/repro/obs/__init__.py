@@ -13,10 +13,17 @@ post-mortemable without perturbing a single artifact byte:
 * :mod:`repro.obs.export` — a Chrome-trace-event (Perfetto-loadable) JSON
   writer and the machine-readable ``telemetry.json`` summary (cells/sec,
   hit rates, p50/p95 cell wall-clock, events/sec).
+* :mod:`repro.obs.sched` — the event-driven scheduler probe: queue-depth,
+  per-node allocation and job-lifecycle series per run, with fairness
+  metrics (wait/bounded-slowdown percentiles) and windowed utilization
+  queries; persisted in the trace artifact (format v4) and answerable warm
+  through :class:`~repro.traces.query.TraceReader`.
 * :mod:`repro.obs.progress` — the live stderr progress line behind
   ``python -m repro.campaign --progress``.
 * :mod:`repro.obs.log` — structured stdlib logging (``REPRO_LOG`` /
   ``--log-level``) for the previously silent campaign, store and gc paths.
+* :mod:`repro.obs.bench` — the schema-versioned benchmark trajectory behind
+  ``benchmarks/history.py`` and ``python -m repro.obs bench report``.
 
 Hard contract: telemetry is observational only.  Content keys, stored rows
 and trace artifacts are byte-identical with telemetry on or off, and the
@@ -32,6 +39,14 @@ from repro.obs.export import (
 )
 from repro.obs.log import configure, get_logger
 from repro.obs.progress import ProgressLine
+from repro.obs.sched import (
+    ClusterProbe,
+    FairnessSummary,
+    JobLifecycleRecord,
+    NodeSample,
+    QueueSample,
+    SchedTimeline,
+)
 from repro.obs.telemetry import (
     DISABLED,
     Span,
@@ -43,7 +58,13 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "DISABLED",
+    "ClusterProbe",
+    "FairnessSummary",
+    "JobLifecycleRecord",
+    "NodeSample",
     "ProgressLine",
+    "QueueSample",
+    "SchedTimeline",
     "Span",
     "Telemetry",
     "TickingClock",

@@ -1,0 +1,58 @@
+"""Observability CLI: ``python -m repro.obs``.
+
+Currently one command family:
+
+* ``bench report [--history FILE] [--strict]`` — print the benchmark
+  trajectory recorded by ``benchmarks/history.py``, flagging >20%
+  regressions vs each gate's previous row; ``--strict`` turns flagged
+  regressions into a non-zero exit for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.bench import load_history, render_report
+from repro.obs.log import configure
+
+DEFAULT_HISTORY = Path("benchmarks") / "history.jsonl"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="observability utilities"
+    )
+    parser.add_argument("--log-level", default=None, help="debug|info|warning|error")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="benchmark trajectory utilities")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    report = bench_sub.add_parser(
+        "report", help="print the bench history and flag regressions"
+    )
+    report.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help=f"history file (default {DEFAULT_HISTORY})",
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any >20%% regression is flagged",
+    )
+
+    args = parser.parse_args(argv)
+    configure(args.log_level)
+    if args.command == "bench" and args.bench_command == "report":
+        text, nregressions = render_report(load_history(args.history))
+        print(text)
+        return 1 if (args.strict and nregressions) else 0
+    parser.error("unknown command")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Benchmark trajectory: a schema-versioned history of ``BENCH_*.json`` runs.
+
+The perf harnesses (``bench_perf_core``, ``bench_distributed_sweep``,
+``bench_store_scale``) each emit a gate report, but every run overwrote the
+previous one — the repo had no memory of whether a gate was trending toward
+its threshold.  This module gives the reports a trajectory:
+
+* :func:`history_row` distils one report into a flat, schema-versioned row
+  (gate name, pass/fail, headline speedup, aggregate ``span_seconds``,
+  commit);
+* :func:`append_history` appends rows to ``benchmarks/history.jsonl``
+  (idempotent: re-appending the latest measurement is a no-op);
+* :func:`render_report` prints the trajectory per gate and flags any row
+  whose speedup dropped — or whose aggregate span seconds grew — by more
+  than :data:`REGRESSION_THRESHOLD` vs the previous row of the same gate.
+
+``benchmarks/history.py`` is the appending scanner; ``python -m repro.obs
+bench report`` prints the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "REGRESSION_THRESHOLD",
+    "append_history",
+    "history_row",
+    "load_history",
+    "render_report",
+]
+
+#: Bumped whenever the row layout changes; older rows are still printed but
+#: never used as a regression baseline.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Fractional change vs the previous row of the same gate that counts as a
+#: regression (speedup shrinking, or aggregate span seconds growing).
+REGRESSION_THRESHOLD = 0.20
+
+
+def _aggregate(report: dict) -> dict:
+    aggregate = report.get("aggregate")
+    return aggregate if isinstance(aggregate, dict) else {}
+
+
+def history_row(
+    gate: str,
+    report: dict,
+    commit: str | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """One history row distilled from a gate report.
+
+    Tolerant of the harnesses' different report shapes: every field that a
+    report does not carry records as ``None``/``{}`` rather than raising, so
+    a new harness joins the history without touching this module.
+    """
+    gate_block = report.get("gate") if isinstance(report.get("gate"), dict) else {}
+    aggregate = _aggregate(report)
+    span_seconds = aggregate.get("span_seconds")
+    return {
+        "record": "bench",
+        "schema": HISTORY_SCHEMA_VERSION,
+        "gate": gate,
+        "passed": gate_block.get("passed"),
+        "minimum_speedup": gate_block.get("minimum_speedup"),
+        "speedup": aggregate.get("speedup"),
+        "cells": aggregate.get("cells"),
+        "span_seconds": dict(sorted(span_seconds.items()))
+        if isinstance(span_seconds, dict)
+        else {},
+        "commit": commit,
+        "timestamp": timestamp,
+    }
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All readable rows of a history file (a torn tail is ignored, like the
+    store index journals; a missing file is an empty history)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    rows: list[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue  # torn tail from an interrupted append
+        if isinstance(row, dict) and row.get("record") == "bench":
+            rows.append(row)
+    return rows
+
+
+def _same_measurement(a: dict, b: dict) -> bool:
+    ignore = {"timestamp"}
+    return {k: v for k, v in a.items() if k not in ignore} == {
+        k: v for k, v in b.items() if k not in ignore
+    }
+
+
+def append_history(path: str | Path, rows: Iterable[dict]) -> int:
+    """Append rows, skipping any identical to its gate's latest entry
+    (so re-running the scanner over unchanged reports is a no-op).
+    Returns the number of rows actually appended."""
+    path = Path(path)
+    latest: dict[str, dict] = {}
+    for row in load_history(path):
+        latest[str(row.get("gate"))] = row
+    appended = 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as stream:
+        for row in rows:
+            previous = latest.get(str(row.get("gate")))
+            if previous is not None and _same_measurement(previous, row):
+                continue
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+            latest[str(row.get("gate"))] = row
+            appended += 1
+    return appended
+
+
+def _total_span_seconds(row: dict) -> float | None:
+    span_seconds = row.get("span_seconds") or {}
+    if not span_seconds:
+        return None
+    return sum(float(v) for v in span_seconds.values())
+
+
+def _regressions(previous: dict, row: dict) -> list[str]:
+    """Regression flags of ``row`` vs the previous same-gate row."""
+    flags: list[str] = []
+    if previous.get("schema") != row.get("schema"):
+        return flags  # layout changed; not a comparable baseline
+    old_speedup, new_speedup = previous.get("speedup"), row.get("speedup")
+    if (
+        isinstance(old_speedup, (int, float))
+        and isinstance(new_speedup, (int, float))
+        and old_speedup > 0
+        and (old_speedup - new_speedup) / old_speedup > REGRESSION_THRESHOLD
+    ):
+        flags.append(
+            f"speedup {old_speedup:.2f}x -> {new_speedup:.2f}x "
+            f"(-{(old_speedup - new_speedup) / old_speedup:.0%})"
+        )
+    old_total, new_total = _total_span_seconds(previous), _total_span_seconds(row)
+    if (
+        old_total is not None
+        and new_total is not None
+        and old_total > 0
+        and (new_total - old_total) / old_total > REGRESSION_THRESHOLD
+    ):
+        flags.append(
+            f"span seconds {old_total:.3f}s -> {new_total:.3f}s "
+            f"(+{(new_total - old_total) / old_total:.0%})"
+        )
+    return flags
+
+
+def render_report(rows: list[dict]) -> tuple[str, int]:
+    """The ``bench report`` text and its regression count.
+
+    Rows print in file order, grouped per gate, each compared to the
+    previous row of the same gate.
+    """
+    if not rows:
+        return "bench history is empty (run benchmarks/history.py first)", 0
+    lines: list[str] = []
+    nregressions = 0
+    by_gate: dict[str, list[dict]] = {}
+    for row in rows:
+        by_gate.setdefault(str(row.get("gate")), []).append(row)
+    for gate in sorted(by_gate):
+        lines.append(f"gate {gate} ({len(by_gate[gate])} run(s)):")
+        previous: dict | None = None
+        for row in by_gate[gate]:
+            speedup = row.get("speedup")
+            total = _total_span_seconds(row)
+            parts = [
+                "pass" if row.get("passed") else "FAIL",
+                f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else "-",
+                f"{total:.3f}s spans" if total is not None else "-",
+                str(row.get("commit") or "-"),
+            ]
+            flags = _regressions(previous, row) if previous is not None else []
+            if flags:
+                nregressions += len(flags)
+                parts.append("REGRESSION: " + "; ".join(flags))
+            lines.append("  " + " | ".join(parts))
+            previous = row
+    if nregressions:
+        lines.append(f"{nregressions} regression(s) > {REGRESSION_THRESHOLD:.0%}")
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines), nregressions

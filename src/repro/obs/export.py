@@ -37,7 +37,17 @@ __all__ = [
 ]
 
 #: Bumped whenever the summary document layout changes.
-SUMMARY_VERSION = 1
+#:
+#: * 1 — initial layout.
+#: * 2 — adds the ``scheduler`` block (fairness / cluster-utilization
+#:   aggregates from the simulate spans' sched counters) and emits the
+#:   recorded queue-depth series as Chrome counter (``C``) tracks.
+SUMMARY_VERSION = 2
+
+#: Span attributes that hold whole time series.  They are exported as
+#: Chrome counter tracks and excluded from the complete-event ``args`` (a
+#: thousand-point series inside a tooltip helps no one).
+_SERIES_ATTRS = ("queue_series", "sched_queue_series")
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -84,6 +94,17 @@ def summarise(telemetry: "Telemetry") -> dict:
     metrics_hits = _counter_total(cells, "metrics_hit")
     trace_hits = _counter_total(cells, "trace_hit")
     backfilled = sum(1 for c in executed if c.attrs.get("backfilled"))
+
+    # Scheduler-level aggregates (see repro.obs.sched): waits and CPU-second
+    # integrals sum across runs; max_wait is a campaign-wide maximum.
+    sched_jobs = _counter_total(simulate, "sched_jobs")
+    sched_started = _counter_total(simulate, "sched_started")
+    sched_wait = _counter_total(simulate, "sched_wait_seconds")
+    busy = _counter_total(simulate, "sched_busy_cpu_seconds")
+    capacity = _counter_total(simulate, "sched_capacity_cpu_seconds")
+    max_wait = max(
+        (s.attrs.get("sched_max_wait", 0.0) for s in simulate), default=0.0
+    )
     return {
         "campaign": campaign.attrs.get("name") if campaign is not None else None,
         "wall_clock_seconds": wall_clock,
@@ -117,6 +138,15 @@ def summarise(telemetry: "Telemetry") -> dict:
             "mean": (sum(durations) / len(durations)) if durations else 0.0,
             "max": durations[-1] if durations else 0.0,
         },
+        "scheduler": {
+            "jobs": sched_jobs,
+            "started": sched_started,
+            "mean_wait": (sched_wait / sched_started) if sched_started else 0.0,
+            "max_wait": max_wait,
+            "busy_cpu_seconds": busy,
+            "capacity_cpu_seconds": capacity,
+            "utilization": (busy / capacity) if capacity > 0 else 0.0,
+        },
         "span_seconds": {name: per_name_seconds[name] for name in sorted(per_name_seconds)},
         "span_counts": {name: per_name_count[name] for name in sorted(per_name_count)},
     }
@@ -143,9 +173,58 @@ def write_summary(telemetry: "Telemetry", path: str | Path) -> dict:
 
 
 def _span_args(span: "Span") -> dict:
-    args = {key: span.attrs[key] for key in sorted(span.attrs)}
+    args = {
+        key: span.attrs[key]
+        for key in sorted(span.attrs)
+        if key not in _SERIES_ATTRS
+    }
     args.update((key, span.counters[key]) for key in sorted(span.counters))
     return args
+
+
+def _emit_counters(span: "Span", base: float, tid: int, events: list[dict]) -> None:
+    """Counter (``C``) tracks from a span's recorded series attributes.
+
+    Two series shapes exist: the executor's wall-clock ``queue_series``
+    (``[t, depth, in_flight]`` on its own fresh clock, rebased to the span's
+    position) and the scheduler's ``sched_queue_series`` (``[t, depth]`` in
+    *simulated* seconds — its own time axis, deliberately not mixed into the
+    wall-clock rebasing; Perfetto keys counters by name, so per-track names
+    keep cells apart).
+    """
+    queue_series = span.attrs.get("queue_series") or []
+    if queue_series:
+        origin = queue_series[0][0]
+        label = span.attrs.get("name", span.name)
+        span_ts = (span.start - base) * 1e6
+        for sample in queue_series:
+            time, depth, in_flight = sample
+            events.append(
+                {
+                    "name": f"queue {label}",
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": span_ts + (time - origin) * 1e6,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"queued": depth, "in_flight": in_flight},
+                }
+            )
+    sched_series = span.attrs.get("sched_queue_series") or []
+    if sched_series:
+        for sample in sched_series:
+            time, depth = sample
+            events.append(
+                {
+                    "name": f"sched queue (tid {tid})",
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": time * 1e6,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"pending": depth},
+                }
+            )
 
 
 def _emit(span: "Span", base: float, tid: int, events: list[dict]) -> None:
@@ -161,6 +240,7 @@ def _emit(span: "Span", base: float, tid: int, events: list[dict]) -> None:
             "args": _span_args(span),
         }
     )
+    _emit_counters(span, base, tid, events)
     for child in span.children:
         if child.name == "cell" and "index" in child.attrs:
             # A cell tree lives in its own clock domain (a fresh per-cell
@@ -226,11 +306,22 @@ def validate_chrome_trace(document: dict) -> int:
             if key not in event:
                 raise ValueError(f"event {i} is missing {key!r}")
         phase = event["ph"]
-        if phase not in ("X", "M"):
+        if phase not in ("X", "M", "C"):
             raise ValueError(f"event {i} has unsupported phase {phase!r}")
         if phase == "X":
             for key in ("ts", "dur"):
                 value = event.get(key)
                 if not isinstance(value, (int, float)) or value < 0:
                     raise ValueError(f"event {i} has invalid {key!r}: {value!r}")
+        elif phase == "C":
+            value = event.get("ts")
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"event {i} has invalid 'ts': {value!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ValueError(
+                    f"event {i} counter args must be a non-empty numeric object"
+                )
     return len(events)

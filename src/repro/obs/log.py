@@ -63,9 +63,21 @@ def configure(
     (never stacks a second one) and updates the level.  Records still
     propagate to the root logger, so test harnesses capturing via the root
     (``caplog``) observe the same stream.
+
+    An invalid level name (a typo'd ``REPRO_LOG=chatty``, say) must not
+    crash the CLI it was meant to make more talkative: it is validated
+    here, warned about, and falls back to ``warning``.  Callers that want
+    the strict behaviour use :func:`resolve_level` directly.
     """
     logger = get_logger()
-    logger.setLevel(resolve_level(level))
+    try:
+        resolved = resolve_level(level)
+    except ValueError as exc:
+        resolved = logging.WARNING
+        fallback_warning = str(exc)
+    else:
+        fallback_warning = None
+    logger.setLevel(resolved)
     for handler in list(logger.handlers):
         if getattr(handler, _HANDLER_MARK, False):
             logger.removeHandler(handler)
@@ -73,4 +85,7 @@ def configure(
     handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
     setattr(handler, _HANDLER_MARK, True)
     logger.addHandler(handler)
+    if fallback_warning is not None:
+        # After the handler is attached, so the warning is actually visible.
+        logger.warning("%s; falling back to 'warning'", fallback_warning)
     return logger

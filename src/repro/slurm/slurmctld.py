@@ -73,6 +73,11 @@ class Slurmctld:
         the candidate nodes of a job (the paper's future-work "choose as
         victim the nodes with lower utilization").  ``None`` keeps the stock
         configuration order.
+    probe:
+        Optional :class:`~repro.obs.sched.ClusterProbe` notified at every
+        job lifecycle edge (submit, launch, completion, cancellation).  The
+        controller only ever *pushes* events to it — nothing here is polled,
+        so scheduling cost is unchanged when no probe is attached.
     """
 
     def __init__(
@@ -81,11 +86,13 @@ class Slurmctld:
         drom_enabled: bool = True,
         backfill: bool = False,
         node_policy=None,
+        probe=None,
     ) -> None:
         self.cluster = cluster
         self.drom_enabled = drom_enabled
         self.backfill = backfill
         self.node_policy = node_policy
+        self.probe = probe
         self.queue = JobQueue()
         self.nodes: dict[str, NodeState] = {
             node.name: NodeState(name=node.name, ncpus=node.ncpus)
@@ -126,13 +133,18 @@ class Slurmctld:
         job.mark_submitted(time)
         self.jobs[job.job_id] = job
         self.queue.push(job)
+        if self.probe is not None:
+            self.probe.job_submitted(job, time)
         return job
 
     def cancel(self, job_id: int, time: float) -> Job:
         job = self.jobs[job_id]
-        if job.state is JobState.PENDING:
+        was_pending = job.state is JobState.PENDING
+        if was_pending:
             self.queue.remove(job_id)
         job.mark_cancelled(time)
+        if self.probe is not None:
+            self.probe.job_cancelled(job, time, was_pending)
         return job
 
     # -- scheduling -------------------------------------------------------------------
@@ -164,6 +176,12 @@ class Slurmctld:
             decisions.append(
                 SchedulingDecision(job=job, nodes=nodes, co_allocated=co_allocated)
             )
+            if self.probe is not None:
+                # Post-commit states: the samples see the new allocation (a
+                # shrunk/widened grant shows as the actual node count).
+                self.probe.job_started(
+                    job, time, [self.nodes[n] for n in nodes], co_allocated
+                )
         for job in skipped:
             self.queue.push(job)
         return decisions
@@ -242,8 +260,14 @@ class Slurmctld:
         """Mark a running job completed and free its controller-side resources."""
         job = self.jobs[job_id]
         job.mark_completed(time)
-        for state in self.nodes.values():
+        freed = [
+            state for state in self.nodes.values() if job_id in state.running
+        ]
+        for state in freed:
             state.running.pop(job_id, None)
+        if self.probe is not None:
+            # Post-release states: the samples show the freed CPUs.
+            self.probe.job_completed(job, time, freed)
         return job
 
     # -- queries --------------------------------------------------------------------------

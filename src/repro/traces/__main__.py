@@ -3,7 +3,10 @@
 Subcommands::
 
     ls     [--store ROOT]                         list stored traces
-    show   KEY [--store ROOT] [--bin-seconds S]   one trace's timelines
+    show   KEY [--store ROOT] [--bin-seconds S] [--sched]
+                                                  one trace's timelines (or,
+                                                  with --sched, its scheduler
+                                                  lifecycle/fairness view)
     export KEY [--store ROOT] [--format prv|jsonl] [--out DIR]
     gc     [--store ROOT] [filters] [--delete]    collect artifacts
 
@@ -58,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--head", type=int, default=None, metavar="N",
                       help="print the first N step records instead of the "
                            "timelines (inflates only the leading segments)")
+    show.add_argument("--sched", action="store_true",
+                      help="print the scheduler timeline instead: job "
+                           "lifecycle table, fairness summary and queue "
+                           "depth (inflates only the sched member)")
 
     export = sub.add_parser("export", help="re-emit one stored trace")
     export.add_argument("key", help="content key (an unambiguous prefix is enough)")
@@ -142,6 +149,61 @@ def render_trace_head(entry: TraceEntry, count: int) -> str:
     )
 
 
+def render_trace_sched(entry: TraceEntry) -> str:
+    """The scheduler timeline of one trace: lifecycle table, fairness
+    summary and queue-depth series — served entirely from the artifact's
+    ``sched`` member (zero simulation, no step segment inflates)."""
+    timeline = entry.sched
+    if not len(timeline):
+        return (
+            "(no scheduler records — artifact predates trace format v4; "
+            "re-run the cell to backfill it)"
+        )
+    lines = [
+        render_table(
+            ["Job", "Submit (s)", "Start (s)", "End (s)", "Wait (s)",
+             "Nodes", "Granted", "Co-alloc", "Slowdown"],
+            [
+                (
+                    row.job,
+                    f"{row.submit_time:.3f}",
+                    f"{row.start_time:.3f}" if row.start_time is not None else "-",
+                    f"{row.end_time:.3f}" if row.end_time is not None else "-",
+                    f"{row.wait_time:.3f}" if row.wait_time is not None else "-",
+                    str(row.requested_nodes),
+                    str(row.granted_nodes),
+                    "yes" if row.co_allocated else "no",
+                    f"{row.bounded_slowdown:.2f}"
+                    if row.bounded_slowdown is not None
+                    else "-",
+                )
+                for row in timeline.job_lifecycle()
+            ],
+        ),
+        "",
+    ]
+    fairness = timeline.fairness_summary()
+    lines.append(
+        f"fairness  wait p50/p95/max {fairness.p50_wait:.3f}/"
+        f"{fairness.p95_wait:.3f}/{fairness.max_wait:.3f} s | "
+        f"slowdown p50/p95/max {fairness.p50_slowdown:.2f}/"
+        f"{fairness.p95_slowdown:.2f}/{fairness.max_slowdown:.2f}"
+    )
+    depths = [depth for _, depth in timeline.queue_depth_series()]
+    lines.append(
+        f"queue     {len(depths)} sample(s), max depth {max(depths)}"
+        if depths
+        else "queue     (no samples)"
+    )
+    end_time = float(entry.header.get("end_time", 0.0))
+    lines.append(
+        f"cluster   {len(timeline.node_names())} node(s), allocation "
+        f"utilization {timeline.utilization(end_time):.3f} over "
+        f"{end_time:.3f} s"
+    )
+    return "\n".join(lines)
+
+
 def render_trace(entry: TraceEntry, bin_seconds: float) -> str:
     """Header summary plus the per-job width timeline of one trace."""
     reader = TraceReader(entry)
@@ -207,7 +269,9 @@ def main(argv: list[str] | None = None) -> int:
             print(exc.args[0], file=sys.stderr)
             return 1
         if args.command == "show":
-            if args.head is not None:
+            if args.sched:
+                print(render_trace_sched(entry))
+            elif args.head is not None:
                 print(render_trace_head(entry, args.head))
             else:
                 print(render_trace(entry, args.bin_seconds))

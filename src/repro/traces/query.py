@@ -29,6 +29,7 @@ from repro.campaign.spec import RunSpec
 from repro.metrics.counters import CounterLog
 from repro.metrics.paraver import ParaverView
 from repro.metrics.tracing import MaskChangeRecord, Tracer
+from repro.obs.sched import FairnessSummary, JobLifecycleRecord, NodeSample, SchedTimeline
 from repro.traces.store import TraceEntry
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -44,11 +45,19 @@ class TraceReader:
     is inflated on first query, not at construction.
     """
 
-    def __init__(self, source: Union[Tracer, TraceEntry], header: dict | None = None):
+    def __init__(
+        self,
+        source: Union[Tracer, TraceEntry],
+        header: dict | None = None,
+        sched: SchedTimeline | None = None,
+    ):
         self._source = source
         self._header = dict(header) if header is not None else (
             dict(source.header) if isinstance(source, TraceEntry) else {}
         )
+        #: Scheduler timeline for live tracers (stored entries carry their
+        #: own ``sched`` member; pre-v4 artifacts read as an empty timeline).
+        self._sched = sched
 
     @cached_property
     def tracer(self) -> Tracer:
@@ -133,6 +142,34 @@ class TraceReader:
         if rank is not None:
             steps = [s for s in steps if s.rank == rank]
         return steps
+
+    # -- scheduler timeline (fairness / utilization; ROADMAP item 4) ---------------
+
+    @cached_property
+    def sched(self) -> SchedTimeline:
+        """The run's scheduler timeline.  Warm path: the stored entry's
+        ``sched`` member inflates on first touch, with zero simulation."""
+        if self._sched is not None:
+            return self._sched
+        if isinstance(self._source, TraceEntry):
+            return self._source.sched
+        return SchedTimeline()
+
+    def queue_depth_series(self) -> list[tuple[float, int]]:
+        """(time, pending-queue depth) at every scheduler event."""
+        return self.sched.queue_depth_series()
+
+    def utilization_series(self, node: str | None = None) -> list[NodeSample]:
+        """Per-node busy-CPU/allocation samples, optionally for one node."""
+        return self.sched.utilization_series(node)
+
+    def job_lifecycle(self) -> list[JobLifecycleRecord]:
+        """The per-job submit → start → end table, in submit order."""
+        return self.sched.job_lifecycle()
+
+    def fairness_summary(self) -> FairnessSummary:
+        """p50/p95/max wait and bounded-slowdown percentiles of the run."""
+        return self.sched.fairness_summary()
 
     # -- IPC (Figure 14) ----------------------------------------------------------
 
@@ -219,6 +256,11 @@ class ScenarioReplay:
     @cached_property
     def tracer(self) -> Tracer:
         return self.entry.tracer
+
+    @property
+    def sched(self) -> SchedTimeline:
+        """The stored scheduler timeline (empty for pre-v4 artifacts)."""
+        return self.entry.sched
 
     @property
     def end_time(self) -> float:

@@ -10,7 +10,7 @@ tiers thus address the same cell by the same hash — a key found in both
 means "this simulation's reporting is fully reconstructable without
 re-simulating".
 
-Artifact layout (format v3): one ``<key>.jsonl.gz`` file per cell, written
+Artifact layout (format v4): one ``<key>.jsonl.gz`` file per cell, written
 as a sequence of **concatenated gzip members** — a valid multi-member gzip
 stream, so ``gzip.decompress`` of the whole file still yields the flat JSONL
 record stream:
@@ -18,11 +18,14 @@ record stream:
 * the first member holds the versioned run header line (spec contents,
   scenario, workload name, end time, cycles/µs calibration) — including a
   ``segments`` table of time-windowed step chunks (first start, last end,
-  record count, compressed byte length) and the mask member's byte length;
+  record count, compressed byte length) plus the mask and sched members'
+  byte lengths;
 * one member per step segment: up to ``segment_steps`` step records in the
   tracer's canonical ``(start, job, rank)`` order;
-* one final member with the mask-change records (omitted when there are
-  none).
+* one member with the mask-change records (omitted when there are none);
+* one final member with the scheduler-timeline records (queue samples, node
+  allocation samples, job lifecycle rows — see :mod:`repro.obs.sched`;
+  omitted when the run recorded none, as v3 artifacts always did).
 
 Because the header carries every member's compressed length, a reader seeks
 straight to any segment and inflates only the time windows a query touches
@@ -49,6 +52,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.campaign.spec import RunSpec
 from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
 from repro.obs.log import get_logger
+from repro.obs.sched import SchedTimeline
 from repro.results.store import content_key, spec_contents, spec_from_contents
 from repro.store.index import IndexEntry, StoreIndex
 
@@ -76,7 +80,16 @@ DEFAULT_TRACE_ROOT = Path("benchmarks") / "results" / "traces"
 #:   with a byte-offset ``segments`` table in the header, so windowed
 #:   queries inflate only the touched segments.  The decompressed record
 #:   stream is unchanged from v2.
-TRACE_FORMAT_VERSION = 3
+#: * 4 — optional trailing ``sched`` member holding the scheduler timeline
+#:   (queue/node/lifecycle records) with its byte length in the header's
+#:   ``sched_bytes``.  Strictly additive, so v3 artifacts stay readable
+#:   (they simply expose an empty timeline) — see ``_COMPAT_VERSIONS``.
+TRACE_FORMAT_VERSION = 4
+
+#: Formats the reader accepts.  v3 is a pure prefix of v4 (no sched member,
+#: no ``sched_bytes`` header field), so accepting it costs nothing; anything
+#: older has a different record stream and reads as a miss.
+_COMPAT_VERSIONS = frozenset({3, TRACE_FORMAT_VERSION})
 
 _SUFFIX = ".jsonl.gz"
 
@@ -217,6 +230,25 @@ class TraceEntry:
                 break
             head.extend(self.segment_steps(index))
         return head[:count]
+
+    def sched_records(self) -> list[dict]:
+        """The raw scheduler-timeline records, inflating the sched member on
+        first touch (empty for v3 artifacts and sched-less runs)."""
+        if "sched" not in self._inflated:
+            nbytes = int(self.header.get("sched_bytes", 0))
+            records: list[dict] = []
+            if nbytes:
+                offset = self._segment_offset(len(self.segments)) + int(
+                    self.header.get("mask_bytes", 0)
+                )
+                records = self._member_records(offset, nbytes)
+            self._inflated["sched"] = records
+        return self._inflated["sched"]
+
+    @cached_property
+    def sched(self) -> SchedTimeline:
+        """The run's scheduler timeline (empty for pre-v4 artifacts)."""
+        return SchedTimeline.from_records(self.sched_records())
 
     @cached_property
     def tracer(self) -> Tracer:
@@ -361,15 +393,16 @@ class TraceStore:
         header = json.loads(bytes(body).split(b"\n", 1)[0])
         if not isinstance(header, dict) or header.get("record") != "run":
             raise ValueError(f"{path} has no run header record")
-        if header.get("version") != TRACE_FORMAT_VERSION:
+        if header.get("version") not in _COMPAT_VERSIONS:
             raise ValueError(
                 f"trace {path.name} has format {header.get('version')!r}, "
-                f"expected {TRACE_FORMAT_VERSION}"
+                f"expected one of {sorted(_COMPAT_VERSIONS)}"
             )
         expected = (
             header_bytes
             + sum(int(seg["bytes"]) for seg in header["segments"])
             + int(header["mask_bytes"])
+            + int(header.get("sched_bytes", 0))
         )
         actual = path.stat().st_size
         if actual != expected:
@@ -440,6 +473,16 @@ class TraceStore:
                 )
                 + "\n"
             )
+        sched = getattr(result, "sched", None)
+        sched_records = sched.to_records() if sched is not None else []
+        sched_blob = b""
+        if sched_records:
+            sched_blob = _gzip_member(
+                "\n".join(
+                    json.dumps(record, sort_keys=True) for record in sched_records
+                )
+                + "\n"
+            )
         header = {
             "record": "run",
             "version": TRACE_FORMAT_VERSION,
@@ -454,11 +497,14 @@ class TraceStore:
             "nmask_changes": len(changes),
             "segments": segment_table,
             "mask_bytes": len(mask_blob),
+            "sched_bytes": len(sched_blob),
+            "nsched": len(sched_records),
         }
         data = (
             _gzip_member(json.dumps(header, sort_keys=True) + "\n")
             + b"".join(segment_blobs)
             + mask_blob
+            + sched_blob
         )
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)

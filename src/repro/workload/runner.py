@@ -38,6 +38,7 @@ from repro.cpuset.mask import CpuSet
 from repro.cpuset.topology import ClusterTopology, NodeTopology
 from repro.metrics.collect import WorkloadMetrics
 from repro.metrics.tracing import MaskChangeRecord, StepRecord, Tracer
+from repro.obs.sched import ClusterProbe, SchedTimeline
 from repro.runtime.mpi import MpiCommunicator
 from repro.runtime.process import ApplicationProcess, ProcessSpec, ThreadModel
 from repro.sim.engine import SimulationEngine, Timeout
@@ -114,6 +115,11 @@ class ScenarioResult:
     #: Batched wakes of the fast path (0 when ``batching=False`` ran the
     #: single-step reference loop).
     batches_executed: int = 0
+    #: Scheduler-level observability: the event-driven queue/allocation/
+    #: lifecycle series recorded by the cluster probe (see
+    #: :mod:`repro.obs.sched`).  Deterministic, so it persists alongside the
+    #: tracer in the trace artifact (format v4).
+    sched: SchedTimeline = field(default_factory=SchedTimeline)
 
     def job(self, label: str) -> Job:
         return self.jobs[label]
@@ -210,6 +216,7 @@ class ScenarioRunner:
             events_executed=state.engine.events_executed,
             steps_advanced=state.steps_advanced,
             batches_executed=state.batches_executed,
+            sched=state.probe.timeline(),
         )
 
 
@@ -261,11 +268,14 @@ class _RunState:
         self.stats: dict[str, StatsModule] = {
             name: StatsModule(slurmd.shmem) for name, slurmd in self.slurmds.items()
         }
+        # Event-driven scheduler probe: on by default, cost O(events).
+        self.probe = ClusterProbe()
         self.ctld = Slurmctld(
             runner.cluster,
             drom_enabled=runner.drom_enabled,
             backfill=runner.backfill,
             node_policy=self._resolve_node_policy(runner.node_policy),
+            probe=self.probe,
         )
         self.srun = Srun(self.slurmds)
         self.tracer = Tracer()
